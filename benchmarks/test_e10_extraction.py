@@ -1,0 +1,79 @@
+"""E10 — T-language metadata extraction at collection scale.
+
+Paper claim (Section 5, metadata ingestion method 4):
+  "extract metadata from an extraction method associated with the
+   data-type of the file.  The metadata can be extracted from the object
+   itself (eg. FITS files, HTML files) or one can extract the metadata
+   from a second SRB object" (DICOM/AMICO sidecars).
+
+Reproduced series: bulk extraction over N files for the in-object (FITS)
+and sidecar (DICOM) flavours, verifying triple counts and queryability
+of the results; cost grows ~linearly in N.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, assert_monotone
+from repro.mcat import Condition
+from repro.workload import embryo_files, standard_grid, survey_files
+
+from helpers import record_table
+
+
+def test_e10_bulk_extraction(benchmark):
+    table = ResultTable(
+        "E10 metadata extraction throughput",
+        ["files", "method", "triples", "virtual s"])
+    fits_costs = []
+    for n in (10, 40, 160):
+        g = standard_grid()
+        coll = f"{g.home}/ex"
+        g.curator.mkcoll(coll)
+        for f in survey_files(n):
+            g.curator.ingest(f"{coll}/{f.name}", f.content,
+                             resource="unix-sdsc", data_type=f.data_type)
+        t0 = g.fed.clock.now
+        triples = sum(
+            g.curator.extract_metadata(f"{coll}/{f.name}", "fits header")
+            for f in survey_files(n))
+        cost = g.fed.clock.now - t0
+        fits_costs.append(cost)
+        table.add_row([n, "fits header (in-object)", triples, cost])
+        assert triples >= 5 * n        # SIMPLE + 5 cards per tile
+
+    # sidecar flavour at one size
+    g = standard_grid()
+    coll = f"{g.home}/embryos"
+    g.curator.mkcoll(coll)
+    n_embryos = 20
+    for f in embryo_files(n_embryos, image_bytes=1024):
+        g.curator.ingest(f"{coll}/{f.name}", f.content,
+                         resource="unix-sdsc", data_type=f.data_type)
+        g.curator.ingest(f"{coll}/{f.name}.hdr", f.sidecar,
+                         resource="unix-sdsc", data_type="ascii text")
+    t0 = g.fed.clock.now
+    triples = sum(
+        g.curator.extract_metadata(f"{coll}/{f.name}", "dicom header",
+                                   sidecar=f"{coll}/{f.name}.hdr")
+        for f in embryo_files(n_embryos, image_bytes=1024))
+    cost = g.fed.clock.now - t0
+    table.add_row([n_embryos, "dicom header (sidecar)", triples, cost])
+    assert triples == 4 * n_embryos
+    record_table(benchmark, table)
+
+    assert_monotone(fits_costs, increasing=True)
+    # extracted attributes are immediately queryable
+    hits = g.curator.query(coll, [Condition("Stage", "=", "gastrula")])
+    stages = [f.attributes["Stage"]
+              for f in embryo_files(n_embryos, image_bytes=1024)]
+    assert len(hits.rows) == stages.count("gastrula")
+
+    g2 = standard_grid()
+    g2.curator.mkcoll(f"{g2.home}/one")
+    f = next(iter(survey_files(1)))
+    g2.curator.ingest(f"{g2.home}/one/{f.name}", f.content,
+                      resource="unix-sdsc", data_type=f.data_type)
+    benchmark.pedantic(
+        lambda: g2.curator.extract_metadata(f"{g2.home}/one/{f.name}",
+                                            "fits header"),
+        rounds=3, iterations=1)

@@ -1,0 +1,106 @@
+"""E11 (extension) — cross-zone federation overhead.
+
+The paper motivates data grids that span "multiple administration
+domains"; SRB's later releases federated whole *zones* (each with its
+own MCAT and ticket authority).  This repository implements that as an
+extension (DESIGN.md §6 → now in scope): zones peer, tickets
+cross-validate, reads forward.
+
+Reproduced series: the same object read (a) directly in its home zone,
+(b) cross-zone through a home-zone server (one forwarding hop), and
+(c) cross-zone after the peer link degrades to a transcontinental one.
+Expected shape: forwarding adds ≈ one server-to-server round trip; the
+overhead scales with the inter-zone link latency; authorization stays
+with the serving zone.
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core import Federation, SrbClient
+from repro.net.simnet import Network, TRANSCON, WAN
+
+from helpers import record_table
+
+
+def build(inter_zone_link=None):
+    net = Network()
+    home = Federation(zone="homezone", network=net)
+    peer = Federation(zone="peerzone", network=net)
+    home.add_host("home-host")
+    peer.add_host("peer-host")
+    if inter_zone_link is not None:
+        net.set_link("home-host", "peer-host", inter_zone_link)
+    home.add_server("home-srb", "home-host", mcat=True)
+    peer.add_server("peer-srb", "peer-host", mcat=True)
+    home.add_fs_resource("home-disk", "home-host")
+    peer.add_fs_resource("peer-disk", "peer-host")
+    home.default_resource = "home-disk"
+    peer.default_resource = "peer-disk"
+    home.bootstrap_admin()
+    peer.bootstrap_admin("admin@peer", "pw")
+    home.federate_with(peer)
+
+    admin_peer = SrbClient(peer, "peer-host", "peer-srb", "admin@peer", "pw")
+    admin_peer.login()
+    admin_peer.mkcoll("/peerzone/pub")
+    admin_peer.ingest("/peerzone/pub/data.bin", b"z" * 10_000)
+    admin_peer.grant("/peerzone/pub", "*", "read")
+
+    home.add_user("user@home", "pw", role="reader")
+    user = SrbClient(home, "home-host", "home-srb", "user@home", "pw")
+    user.login()
+    return net, home, peer, admin_peer, user
+
+
+def test_e11_forwarding_overhead(benchmark):
+    table = ResultTable(
+        "E11 cross-zone read of a 10 KB object",
+        ["path", "virtual s", "messages"])
+
+    net, home, peer, admin_peer, user = build()
+    direct = SrbClient(peer, "peer-host", "peer-srb")
+    t0, m0 = net.clock.now, net.messages_sent
+    direct.get("/peerzone/pub/data.bin")
+    direct_cost = net.clock.now - t0
+    direct_msgs = net.messages_sent - m0
+    table.add_row(["direct at the peer zone", direct_cost, direct_msgs])
+
+    t0, m0 = net.clock.now, net.messages_sent
+    data = user.get("/peerzone/pub/data.bin")
+    forwarded_cost = net.clock.now - t0
+    forwarded_msgs = net.messages_sent - m0
+    table.add_row(["forwarded via home zone", forwarded_cost,
+                   forwarded_msgs])
+    assert data == b"z" * 10_000
+
+    net2, home2, peer2, admin2, user2 = build(inter_zone_link=TRANSCON)
+    t0 = net2.clock.now
+    user2.get("/peerzone/pub/data.bin")
+    slow_cost = net2.clock.now - t0
+    table.add_row(["forwarded, transcontinental peer link", slow_cost,
+                   forwarded_msgs])
+    record_table(benchmark, table)
+
+    # exactly one forwarding round trip of extra messages...
+    assert forwarded_msgs == direct_msgs + 2
+    # ...and the time overhead grows with the inter-zone link latency
+    assert forwarded_cost > direct_cost
+    assert slow_cost > forwarded_cost
+
+    benchmark.pedantic(lambda: user.get("/peerzone/pub/data.bin"),
+                       rounds=3, iterations=1)
+
+
+def test_e11_authorization_stays_with_serving_zone(benchmark):
+    net, home, peer, admin_peer, user = build()
+    from repro.errors import AccessDenied
+    admin_peer.ingest("/peerzone/pub/secret.bin", b"s")
+    admin_peer.revoke("/peerzone/pub", "*")
+    with pytest.raises(AccessDenied):
+        user.get("/peerzone/pub/secret.bin")
+    admin_peer.grant("/peerzone/pub/secret.bin", "user@home", "read")
+    assert user.get("/peerzone/pub/secret.bin") == b"s"
+
+    benchmark.pedantic(lambda: user.get("/peerzone/pub/secret.bin"),
+                       rounds=3, iterations=1)

@@ -1,0 +1,133 @@
+"""E1 — containers amortize WAN round trips and tape operations.
+
+Paper claims (Sections 2, 3, 5):
+  "Support is also needed for aggregating small data files into physical
+   blocks called containers for storage into archives, and for
+   decreasing latency when accessed over a wide area network."
+
+Reproduced series:
+  (a) ingest N small files individually to a WAN archive vs through a
+      container, sweeping N;
+  (b) cold retrieval of the working set from tape, individual vs
+      container (the tape-mount amortization);
+  (c) ablation: member-size sweep showing the speedup shrinking as
+      streaming bandwidth starts to dominate per-file overhead.
+
+Expected shape: containers win both ingest and cold retrieval, the win
+grows with file count and link latency, and shrinks with member size.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, assert_monotone
+from repro.workload import small_files, standard_grid
+
+from helpers import record_table
+
+
+def build_grid():
+    g = standard_grid()
+    g.fed.add_logical_resource("contres", ["unix-sdsc", "hpss-caltech"])
+    g.curator.mkcoll(f"{g.home}/cont")
+    g.curator.mkcoll(f"{g.home}/indiv")
+    return g
+
+
+def ingest_individual(g, files):
+    t0 = g.fed.clock.now
+    for f in files:
+        g.curator.ingest(f"{g.home}/indiv/{f.name}", f.content,
+                         resource="hpss-caltech")
+    return g.fed.clock.now - t0
+
+
+def ingest_container(g, files):
+    g.curator.create_container(f"{g.home}/cont/box", "contres")
+    t0 = g.fed.clock.now
+    for f in files:
+        g.curator.ingest(f"{g.home}/cont/{f.name}", f.content,
+                         container=f"{g.home}/cont/box")
+    g.curator.sync_container(f"{g.home}/cont/box")
+    return g.fed.clock.now - t0
+
+
+def test_e1_ingest_sweep(benchmark):
+    table = ResultTable(
+        "E1a container vs individual WAN/archive ingest (4 KiB files)",
+        ["files", "individual (s)", "container (s)", "speedup"])
+    speedups = []
+    for n in (10, 40, 160):
+        g1, g2 = build_grid(), build_grid()
+        files = list(small_files(n, size=4096))
+        indiv = ingest_individual(g1, files)
+        cont = ingest_container(g2, files)
+        table.add_row([n, indiv, cont, f"{indiv / cont:.1f}x"])
+        speedups.append(indiv / cont)
+    record_table(benchmark, table)
+    # container always wins, and its advantage does not degrade with scale
+    assert all(s > 1.5 for s in speedups)
+    assert speedups[-1] >= speedups[0] * 0.8
+
+    g = build_grid()
+    files = list(small_files(10, size=4096))
+    benchmark.pedantic(lambda: ingest_container(g, files),
+                       rounds=1, iterations=1)
+
+
+def test_e1_cold_retrieval(benchmark):
+    """One tape stage for the whole container vs one per file."""
+    table = ResultTable(
+        "E1b cold tape retrieval of a 20-file working set",
+        ["layout", "virtual s", "tape mounts", "stages"])
+    g = build_grid()
+    files = list(small_files(20, size=4096))
+    ingest_individual(g, files)
+    ingest_container(g, files)
+    archive = g.fed.resources.physical("hpss-caltech").driver
+
+    archive.purge_cache()
+    mounts0, stages0 = archive.tape_mounts, archive.stages
+    t0 = g.fed.clock.now
+    for f in files:
+        g.curator.get(f"{g.home}/indiv/{f.name}", replica_num=1)
+    indiv = g.fed.clock.now - t0
+    table.add_row(["individual files", indiv,
+                   archive.tape_mounts - mounts0, archive.stages - stages0])
+
+    archive.purge_cache()
+    mounts0, stages0 = archive.tape_mounts, archive.stages
+    t0 = g.fed.clock.now
+    for f in files:
+        g.curator.get(f"{g.home}/cont/{f.name}", replica_num=1)
+    cont = g.fed.clock.now - t0
+    table.add_row(["via container", cont,
+                   archive.tape_mounts - mounts0, archive.stages - stages0])
+    record_table(benchmark, table)
+
+    assert cont < indiv / 5            # the paper's headline effect
+    benchmark.pedantic(
+        lambda: g.curator.get(f"{g.home}/cont/{files[0].name}",
+                              replica_num=1),
+        rounds=3, iterations=1)
+
+
+def test_e1_member_size_ablation(benchmark):
+    """Speedup shrinks as member size grows (bandwidth dominates)."""
+    table = ResultTable(
+        "E1c ablation: container advantage vs member size (20 files)",
+        ["member size (B)", "individual (s)", "container (s)", "speedup"])
+    speedups = []
+    for size in (1024, 32 * 1024, 1024 * 1024):
+        g1, g2 = build_grid(), build_grid()
+        files = list(small_files(20, size=size))
+        indiv = ingest_individual(g1, files)
+        cont = ingest_container(g2, files)
+        table.add_row([size, indiv, cont, f"{indiv / cont:.1f}x"])
+        speedups.append(indiv / cont)
+    record_table(benchmark, table)
+    assert_monotone(speedups, increasing=False, tolerance=0.05)
+
+    g = build_grid()
+    files = list(small_files(5, size=1024))
+    benchmark.pedantic(lambda: ingest_individual(g, files),
+                       rounds=1, iterations=1)

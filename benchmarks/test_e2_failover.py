@@ -1,0 +1,107 @@
+"""E2 — automatic redirect to a replica when a storage system fails.
+
+Paper claim (Section 3, advantage 4):
+  "Fault tolerance - data can be accessed by the global persistent
+   identifier, with the system automatically redirecting access to a
+   replica on a separate storage system when the first storage system is
+   unavailable."
+
+Reproduced series: read latency with (a) all replicas healthy, (b) the
+primary's host down, (c) two of three hosts down, and (d) the error when
+everything is down.  Expected shape: every failure adds roughly one
+failed-attempt timeout (2 x link latency) and reads keep succeeding
+until no replica is reachable.
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core import SrbClient
+from repro.errors import ReplicaUnavailable
+from repro.net.simnet import WAN
+
+from helpers import admin_client, flat_fed, record_table
+
+PATH = "/demozone/bench/critical.dat"
+
+
+def build():
+    fed = flat_fed(n_hosts=3)
+    client = admin_client(fed)
+    client.ingest(PATH, b"irreplaceable" * 100, resource="fs0")
+    client.replicate(PATH, "fs1")
+    client.replicate(PATH, "fs2")
+    return fed, client
+
+
+def timed_get(fed, client):
+    t0 = fed.clock.now
+    data = client.get(PATH)
+    assert data.startswith(b"irreplaceable")
+    return fed.clock.now - t0
+
+
+def test_e2_failover_latency(benchmark):
+    fed, client = build()
+    table = ResultTable("E2 replica failover",
+                        ["scenario", "read latency (s)", "outcome"])
+
+    healthy = timed_get(fed, client)
+    table.add_row(["all replicas up", healthy, "ok (replica 1)"])
+
+    fed.network.set_down("h1")       # note: primary fs0 is on h0 with server
+    one_down_unused = timed_get(fed, client)
+    table.add_row(["non-primary host down", one_down_unused, "ok (replica 1)"])
+    fed.network.set_up("h1")
+
+    # the interesting case: kill the PRIMARY replica's host.  fs0 is on h0,
+    # which also runs the server, so instead fail over by making replica 1
+    # dirty... no: re-ingest with the primary on h1 for a clean experiment.
+    fed2 = flat_fed(n_hosts=3)
+    client2 = admin_client(fed2)
+    client2.ingest(PATH, b"irreplaceable" * 100, resource="fs1")
+    client2.replicate(PATH, "fs2")
+    t0 = fed2.clock.now
+    client2.get(PATH)
+    healthy2 = fed2.clock.now - t0
+
+    fed2.network.set_down("h1")
+    t0 = fed2.clock.now
+    client2.get(PATH)                 # redirects to fs2
+    failover1 = fed2.clock.now - t0
+    table.add_row(["primary host down", failover1, "ok (redirected)"])
+
+    fed2.network.set_down("h2")
+    t0 = fed2.clock.now
+    with pytest.raises(ReplicaUnavailable):
+        client2.get(PATH)
+    exhausted = fed2.clock.now - t0
+    table.add_row(["all replica hosts down", exhausted,
+                   "ReplicaUnavailable"])
+    record_table(benchmark, table)
+
+    # shape: one failed attempt costs about one timeout (2 x latency) more
+    timeout = 2 * WAN.latency_s
+    assert failover1 > healthy2
+    assert failover1 - healthy2 == pytest.approx(timeout, rel=0.5)
+
+    fed3, client3 = build()
+    benchmark.pedantic(lambda: client3.get(PATH), rounds=3, iterations=1)
+
+
+def test_e2_dirty_replicas_skipped(benchmark):
+    """Failover never serves a stale copy: dirty replicas are skipped."""
+    fed = flat_fed(n_hosts=3)
+    client = admin_client(fed)
+    client.ingest(PATH, b"v1", resource="fs1")
+    client.replicate(PATH, "fs2")
+    client.put(PATH, b"v2")           # lands on fs1; fs2 now dirty
+    fed.network.set_down("h1")        # only the dirty fs2 copy reachable
+    with pytest.raises(ReplicaUnavailable):
+        client.get(PATH)
+    fed.network.set_up("h1")
+    client.synchronize(PATH)
+    fed.network.set_down("h1")
+    assert client.get(PATH) == b"v2"  # refreshed copy now serves
+
+    benchmark.pedantic(lambda: client.get(PATH), rounds=3, iterations=1)

@@ -1,0 +1,72 @@
+"""E7 — single sign-on vs per-resource authentication.
+
+Paper claim (Section 2):
+  "The DGA should be able to provide access to the user to all the
+   storage systems with a single sign on authentication."
+
+Reproduced series: a user touches M distinct storage systems (M = 1, 2,
+4, 8) once each, under (a) SSO — one challenge-response login, ticket
+validated locally everywhere — and (b) legacy per-resource security
+domains, where every resource access runs its own challenge-response
+(two extra round trips).  Expected shape: the legacy curve grows with a
+constant extra cost per touch (4 messages / ~2 RTT); SSO pays only the
+one-time login.
+"""
+
+import pytest
+
+from repro.bench import ResultTable
+from repro.core import SrbClient
+
+from helpers import admin_client, flat_fed, record_table
+
+
+def run_workload(sso: bool, m: int):
+    fed = flat_fed(n_hosts=m, sso_enabled=sso)
+    client = admin_client(fed)
+    t0 = fed.clock.now
+    msg0 = fed.network.messages_sent
+    for i in range(m):
+        client.ingest(f"/demozone/bench/f{i}", b"d" * 100,
+                      resource=f"fs{i}")
+    return fed.clock.now - t0, fed.network.messages_sent - msg0
+
+
+def test_e7_auth_scaling(benchmark):
+    table = ResultTable(
+        "E7 single sign-on vs per-resource login (cost of touching M systems)",
+        ["systems", "SSO (s)", "SSO msgs", "legacy (s)", "legacy msgs",
+         "extra msgs"])
+    extras = []
+    for m in (1, 2, 4, 8):
+        sso_t, sso_m = run_workload(True, m)
+        leg_t, leg_m = run_workload(False, m)
+        extras.append(leg_m - sso_m)
+        table.add_row([m, sso_t, sso_m, leg_t, leg_m, leg_m - sso_m])
+        assert leg_t > sso_t
+    record_table(benchmark, table)
+
+    # exactly 4 extra auth messages per resource touch
+    assert extras == [4 * m for m in (1, 2, 4, 8)]
+
+    benchmark.pedantic(lambda: run_workload(True, 2), rounds=3, iterations=1)
+
+
+def test_e7_ticket_validated_everywhere(benchmark):
+    """One ticket covers every server and resource in the zone."""
+    fed = flat_fed(n_hosts=3)
+    fed.add_server("s1", "h1")
+    fed.add_server("s2", "h2")
+    client = admin_client(fed)
+    issued0 = fed.authority.issued
+    client.ingest("/demozone/bench/shared", b"x", resource="fs2")
+    validations0 = fed.authority.validated
+    for server in ("s0", "s1", "s2"):
+        client.connect(server)
+        assert client.get("/demozone/bench/shared") == b"x"
+    # servers validated the same ticket locally; no re-login happened
+    assert fed.authority.validated > validations0
+    assert fed.authority.issued == issued0
+
+    benchmark.pedantic(lambda: client.get("/demozone/bench/shared"),
+                       rounds=3, iterations=1)

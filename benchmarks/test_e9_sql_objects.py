@@ -1,0 +1,98 @@
+"""E9 — registered SQL objects: executed at retrieval, template rendering.
+
+Paper claims (Section 5, registered kind 3):
+  "The query is executed at retrieval time, and is not stored on
+   registration.  Hence the answer to the query can vary with time."
+  Templates: "HTMLREL prints the result as a relational table in HTML,
+  HTMLNEST prints the result as a nested table in HTML, and XMLREL
+  prints the result in XML using a simple DTD."
+
+Reproduced series: a registered query over a table swept from 10 to
+1000 rows, rendered through each built-in template; plus the
+freshness check (row inserted between retrievals changes the answer)
+and the partial-query flow.  Expected shape: retrieval cost grows with
+result size; all three templates render the same row count.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, assert_monotone
+from repro.db import Column
+
+from helpers import admin_client, flat_fed, record_table
+
+
+def build(n_rows: int):
+    fed = flat_fed(n_hosts=1)
+    fed.add_database_resource("dlib1", "h0")
+    client = admin_client(fed)
+    drv = fed.resources.physical("dlib1").driver
+    t = drv.create_user_table("observations", [
+        Column("star", "TEXT"), Column("mag", "FLOAT"),
+        Column("night", "TEXT")])
+    for i in range(n_rows):
+        t.insert({"star": f"star-{i:04d}", "mag": (i % 170) / 10.0,
+                  "night": f"1999-{1 + i % 12:02d}-01"})
+    return fed, client, drv
+
+
+def test_e9_template_sweep(benchmark):
+    table = ResultTable(
+        "E9 registered SQL retrieval: rows x template",
+        ["rows", "template", "virtual s", "output bytes"])
+    costs = {name: [] for name in ("HTMLREL", "HTMLNEST", "XMLREL")}
+    for n in (10, 100, 1000):
+        fed, client, drv = build(n)
+        for template in ("HTMLREL", "HTMLNEST", "XMLREL"):
+            path = f"/demozone/bench/q-{template}"
+            client.register_sql(path, "dlib1",
+                                "SELECT night, star, mag FROM observations "
+                                "ORDER BY night",
+                                template=template)
+            t0 = fed.clock.now
+            out = client.get(path)
+            cost = fed.clock.now - t0
+            costs[template].append(cost)
+            table.add_row([n, template, cost, len(out)])
+            if template == "HTMLREL":
+                assert out.count(b"<tr>") == n + 1      # header + rows
+            if template == "XMLREL":
+                assert out.count(b"<row>") == n
+    record_table(benchmark, table)
+    for template, series in costs.items():
+        assert_monotone(series, increasing=True)
+
+    fed, client, drv = build(50)
+    client.register_sql("/demozone/bench/q", "dlib1",
+                        "SELECT star FROM observations")
+    benchmark.pedantic(lambda: client.get("/demozone/bench/q"),
+                       rounds=3, iterations=1)
+
+
+def test_e9_freshness_and_partial(benchmark):
+    fed, client, drv = build(10)
+    client.register_sql("/demozone/bench/count", "dlib1",
+                        "SELECT COUNT(*) AS n FROM observations",
+                        template="XMLREL")
+    first = client.get("/demozone/bench/count")
+    drv.database.table("observations").insert(
+        {"star": "nova", "mag": 2.0, "night": "2002-01-01"})
+    second = client.get("/demozone/bench/count")
+    assert b"<field>10</field>" in first
+    assert b"<field>11</field>" in second   # the answer varied with time
+
+    client.register_sql("/demozone/bench/partial", "dlib1",
+                        "SELECT star FROM observations WHERE",
+                        partial=True)
+    bright = client.get("/demozone/bench/partial", sql_remainder="mag < 0.5")
+    dim = client.get("/demozone/bench/partial", sql_remainder="mag > 0.5")
+    assert bright != dim
+
+    table = ResultTable("E9b freshness of registered queries",
+                        ["retrieval", "rows reported"])
+    table.add_row(["before insert", 10])
+    table.add_row(["after insert", 11])
+    record_table(benchmark, table)
+
+    benchmark.pedantic(lambda: client.get("/demozone/bench/count"),
+                       rounds=3, iterations=1)

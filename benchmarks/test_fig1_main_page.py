@@ -1,0 +1,120 @@
+"""Figure 1 — "SRB Main page showing the Collections with different
+objects and Operations".
+
+The paper's Figure 1 is a screenshot of the MySRB split-window main page:
+the small top window shows metadata about the selected collection, the
+larger bottom window lists its elements (sub-collections and objects of
+every kind) with their per-object operations.
+
+This benchmark rebuilds an equivalent collection (one of every object
+kind the paper lists), renders the page through the real WSGI app, saves
+the HTML to ``benchmarks/output/figure1.html``, and asserts the
+structural elements visible in the screenshot are present.
+"""
+
+import pytest
+
+from repro.db import Column
+from repro.mysrb import Browser, MySrbApp
+from repro.workload import standard_grid
+
+from helpers import save_artifact
+
+
+def build_collection():
+    g = standard_grid()
+    fed = g.fed
+    coll = f"{g.home}/Cultures"
+    g.curator.mkcoll(coll)
+    g.curator.add_metadata(coll, "theme", "world cultures")
+    g.curator.add_metadata(coll, "curator", "sekar")
+
+    # one of each object kind from the paper
+    g.curator.mkcoll(f"{coll}/Avian Culture")                 # sub-collection
+    g.curator.ingest(f"{coll}/notes.txt", b"ingested file",
+                     data_type="ascii text")                  # data
+    outside = fed.resources.physical("unix-caltech").driver
+    outside.create("/elsewhere/legacy.dat", b"registered")
+    g.curator.register_file(f"{coll}/legacy.dat", "unix-caltech",
+                            "/elsewhere/legacy.dat")          # registered
+    outside.create("/elsewhere/cone/item.txt", b"member")
+    g.curator.register_directory(f"{coll}/cone", "unix-caltech",
+                                 "/elsewhere/cone")           # shadow dir
+    drv = fed.resources.physical("dlib1").driver
+    t = drv.create_user_table("artifacts", [Column("name", "TEXT")])
+    t.insert({"name": "mask"})
+    g.curator.register_sql(f"{coll}/artifact-list", "dlib1",
+                           "SELECT name FROM artifacts")      # sql
+    fed.web.publish("http://museum.org/cultures", b"<html>x</html>")
+    g.curator.register_url(f"{coll}/museum", "http://museum.org/cultures")
+    g.curator.register_method(f"{coll}/srbps", "srb1", "srbps",
+                              proxy_function=True)            # method
+    g.curator.link(f"{coll}/notes.txt", f"{coll}/notes-link.txt")  # link
+    fed.add_logical_resource("contres2", ["unix-sdsc"])
+    g.curator.create_container(f"{coll}/box", "contres2")     # container
+    return g, coll
+
+
+def test_figure1_main_page(benchmark):
+    g, coll = build_collection()
+    app = MySrbApp(g.fed)
+    browser = Browser(app)
+    browser.login("sekar@sdsc", "secret")
+
+    def render():
+        return browser.get(f"/browse?path={coll.replace(' ', '%20')}")
+
+    page = render()
+    assert page.code == 200
+    html = page.text
+    path = save_artifact("figure1.html", html)
+    print(f"\nFigure 1 rendered to {path} ({len(html)} bytes)")
+
+    # split window: metadata pane on top, listing below
+    assert 'class="top-pane"' in html
+    assert 'class="bottom-pane"' in html
+    assert "theme" in html and "world cultures" in html
+
+    # every object kind appears with its kind label
+    for name, kind in [("Avian Culture/", "collection"),
+                       ("notes.txt", "data"),
+                       ("legacy.dat", "registered"),
+                       ("cone", "shadow-dir"),
+                       ("artifact-list", "sql"),
+                       ("museum", "url"),
+                       ("srbps", "method"),
+                       ("notes-link.txt", "link"),
+                       ("box", "container")]:
+        assert name in html, f"{name} missing from listing"
+        assert kind in html
+
+    # the per-object operations of the screenshot
+    for op in ("open", "replicate", "copy", "move", "link", "lock",
+               "delete", "metadata", "annotate"):
+        assert f">{op}</a>" in html
+
+    # collection-level actions
+    assert "Ingest a file" in html
+    assert "New sub-collection" in html
+    assert "Register object" in html
+
+    benchmark.pedantic(render, rounds=5, iterations=1)
+
+
+def test_figure1_object_open_view(benchmark):
+    """The companion view: opening a file shows attributes + contents."""
+    g, coll = build_collection()
+    app = MySrbApp(g.fed)
+    browser = Browser(app)
+    browser.login("sekar@sdsc", "secret")
+    g.curator.add_metadata(f"{coll}/notes.txt", "language", "en")
+
+    page = browser.get(f"/open?path={coll}/notes.txt")
+    assert page.code == 200
+    assert "ingested file" in page.text       # contents, bottom pane
+    assert "language" in page.text            # attributes, top pane
+    save_artifact("figure1_open.html", page.text)
+
+    benchmark.pedantic(
+        lambda: browser.get(f"/open?path={coll}/notes.txt"),
+        rounds=5, iterations=1)

@@ -1,0 +1,110 @@
+"""Figure 2 — "File Ingestion Page with Metadata for Dublin Core
+Attributes and other user-defined attributes".
+
+The paper's Figure 2 is a screenshot of the MySRB ingestion form:
+file chooser, data type, logical resource / container selection, the
+collection's required (structural) metadata with default values and
+restricted-vocabulary drop-downs, the Dublin Core entry block, and rows
+for free user-defined attributes.
+
+This benchmark renders the form for a curated collection, saves it to
+``benchmarks/output/figure2.html``, asserts every block of the
+screenshot is present, then submits it and verifies the resulting object
+carries all three metadata classes.
+"""
+
+import pytest
+
+from repro.mcat.dublin_core import DUBLIN_CORE_ELEMENTS
+from repro.mysrb import Browser, MySrbApp
+from repro.workload import standard_grid
+
+from helpers import save_artifact
+
+
+def build():
+    g = standard_grid()
+    coll = f"{g.home}/Avian Culture"
+    g.curator.mkcoll(coll)
+    g.curator.define_structural(coll, "culture", default_value="avian",
+                                mandatory=True,
+                                comment="required by MetaCore for Cultures")
+    g.curator.define_structural(coll, "medium",
+                                vocabulary=["image", "movie", "text"],
+                                default_value="text")
+    g.fed.add_logical_resource("pair", ["unix-sdsc", "hpss-caltech"])
+    g.curator.create_container(f"{coll}/box", "pair")
+    app = MySrbApp(g.fed)
+    browser = Browser(app)
+    browser.login("sekar@sdsc", "secret")
+    return g, coll, browser
+
+
+def test_figure2_ingest_form(benchmark):
+    g, coll, browser = build()
+
+    def render():
+        return browser.get(f"/ingest?coll={coll.replace(' ', '%20')}")
+
+    page = render()
+    assert page.code == 200
+    html = page.text
+    path = save_artifact("figure2.html", html)
+    print(f"\nFigure 2 rendered to {path} ({len(html)} bytes)")
+
+    # upload + typing controls
+    assert "File contents" in html
+    assert "Data type" in html
+    assert "Logical resource" in html
+    assert "Container (overrides resource)" in html
+    assert f"{coll}/box" in html              # existing container offered
+
+    # structural metadata with defaults, vocabulary drop-down, comment
+    assert "culture *" in html                # mandatory marker
+    assert "required by MetaCore for Cultures" in html
+    assert '<option value="image">' in html   # restricted vocabulary
+    assert '<option value="text" selected>' in html   # default value
+
+    # the full Dublin Core block
+    assert "Dublin Core attributes" in html
+    for element in DUBLIN_CORE_ELEMENTS:
+        assert f'name="dc:{element}"' in html, f"missing DC element {element}"
+
+    # free user-defined attribute rows
+    assert "User-defined attributes" in html
+    assert 'name="uname1"' in html and 'name="uunits1"' in html
+
+    benchmark.pedantic(render, rounds=5, iterations=1)
+
+
+def test_figure2_submission_roundtrip(benchmark):
+    g, coll, browser = build()
+    counter = [0]
+
+    def submit():
+        counter[0] += 1
+        return browser.post("/ingest", {
+            "coll": coll, "name": f"ibis-{counter[0]}.txt",
+            "content": "notes on the sacred ibis",
+            "data_type": "ascii text", "resource": "unix-sdsc",
+            "container": "(none)",
+            "meta:culture": "avian", "meta:medium": "text",
+            "dc:Title": "Ibis notes", "dc:Creator": "sekar",
+            "uname1": "species", "uvalue1": "ibis", "uunits1": "",
+            "uname2": "wingspan", "uvalue2": "1.2", "uunits2": "m",
+        })
+
+    page = submit()
+    assert page.code == 200
+    target = f"{coll}/ibis-1.txt"
+    assert g.curator.get(target) == b"notes on the sacred ibis"
+    md = g.curator.get_metadata(target)
+    by_class = {}
+    for row in md:
+        by_class.setdefault(row["meta_class"], set()).add(row["attr"])
+    assert {"culture", "medium", "species", "wingspan"} <= by_class["user"]
+    assert {"Title", "Creator"} <= by_class["type"]
+    units = {row["attr"]: row["units"] for row in md}
+    assert units["wingspan"] == "m"
+
+    benchmark.pedantic(submit, rounds=3, iterations=1)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""The paper's curator scenario: building the "Avian Culture" collection.
+
+Section 4 of the paper describes a curator who gathers distributed
+documents and multi-media about avian cultures into one logical folder,
+enforces a metadata core on contributors, lets selected users enrich the
+metadata, invites annotations/ratings/errata from readers, encodes
+multi-modal relationships, and opens the result to public browsing and
+attribute queries.  This example replays that story through the MySRB
+web interface (the same pages a browser would load) plus the client API.
+
+Run:  python examples/avian_culture.py
+"""
+
+from repro.core import SrbClient
+from repro.mcat import Condition, DisplayOnly
+from repro.mysrb import Browser, MySrbApp
+from repro.workload import standard_grid
+
+
+def main() -> None:
+    g = standard_grid()
+    fed, curator = g.fed, g.curator
+
+    # supporting cast
+    fed.add_user("marciano@sdsc", "pw", role="curator")
+    fed.add_user("helper@ucsb", "pw", role="contributor")
+    colleague = SrbClient(fed, "sdsc", "srb1", "marciano@sdsc", "pw")
+    colleague.login()
+    helper = SrbClient(fed, "laptop", "srb1", "helper@ucsb", "pw")
+    helper.login()
+
+    # -- the collection and its metadata core --------------------------------
+    cultures = f"{g.home}/Cultures"
+    avian = f"{cultures}/Avian Culture"
+    curator.mkcoll(cultures)
+    curator.mkcoll(avian)
+    curator.define_structural(cultures, "culture", mandatory=True,
+                              comment="MetaCore for Cultures")
+    curator.define_structural(avian, "medium",
+                              vocabulary=["image", "movie", "text", "audio"],
+                              default_value="text")
+    print(f"created {avian} with structural metadata requirements")
+
+    # -- gather distributed materials ----------------------------------------
+    curator.ingest(f"{avian}/ibis-notes.txt", b"field notes on the sacred ibis",
+                   data_type="ascii text",
+                   metadata={"culture": "avian", "medium": "text"})
+    curator.ingest(f"{avian}/ibis.img", b"\x89IMAGEDATA",
+                   data_type="dicom image",
+                   metadata={"culture": "avian", "medium": "image"})
+    curator.replicate(f"{avian}/ibis.img", "hpss-caltech")
+
+    # a colleague's movie, linked rather than copied
+    g.admin.grant("/demozone/home", "marciano@sdsc", "write")
+    colleague.mkcoll("/demozone/home/marciano")
+    colleague.ingest("/demozone/home/marciano/crane-dance.mpg", b"MOVIEBYTES",
+                     data_type="movie")
+    colleague.grant("/demozone/home/marciano/crane-dance.mpg", "*", "read")
+    curator.link("/demozone/home/marciano/crane-dance.mpg",
+                 f"{avian}/crane-dance.mpg")
+
+    # outside web material, registered as a URL object
+    fed.web.publish("http://ornithology.org/atlas",
+                    b"<html>atlas of avian cultures</html>")
+    curator.register_url(f"{avian}/atlas", "http://ornithology.org/atlas")
+    print("gathered local files, an archive replica, a cross-curator link "
+          "and a registered URL")
+
+    # -- selected users enrich; readers annotate --------------------------------
+    curator.grant(avian, "helper@ucsb", "read")
+    curator.grant(f"{avian}/ibis.img", "helper@ucsb", "own")
+    helper.add_metadata(f"{avian}/ibis.img", "species",
+                        "threskiornis aethiopicus")
+    helper.add_annotation(f"{avian}/ibis-notes.txt", "rating", "4/5")
+    helper.add_annotation(f"{avian}/ibis-notes.txt", "errata",
+                          "observation date should be 1998",
+                          location="paragraph 2")
+
+    # multi-modal relationship: notes <-> image
+    curator.add_metadata(f"{avian}/ibis-notes.txt", "related",
+                         f"{avian}/ibis.img")
+
+    # -- open to the public ----------------------------------------------------
+    for coll in (g.home, cultures, avian):
+        curator.grant(coll, "*", "read")
+
+    public = SrbClient(fed, "laptop", "srb2")      # anonymous, remote server
+    listing = public.ls(avian)
+    print(f"public browse of {avian}:")
+    for obj in listing["objects"]:
+        print(f"  {obj['name']:<22} [{obj['kind']}]")
+
+    hits = public.query(avian, [Condition("culture", "=", "avian",
+                                          display=False),
+                                DisplayOnly("medium")])
+    print("public query culture=avian ->")
+    for row in hits.rows:
+        print(f"  {row[0]}  medium={row[1]}")
+
+    # -- the same thing through the MySRB web UI ---------------------------------
+    app = MySrbApp(fed)
+    browser = Browser(app)
+    browser.login("sekar@sdsc", "secret")
+    page = browser.get(f"/browse?path={avian.replace(' ', '%20')}")
+    print(f"\nMySRB browse page: HTTP {page.code}, "
+          f"{len(page.body)} bytes of split-window HTML")
+    results = browser.post("/query", {
+        "scope": avian, "attr1": "culture", "op1": "=", "value1": "avian",
+        "show1": "1"})
+    print(f"MySRB query page: HTTP {results.code}, "
+          f"{'ibis-notes.txt' in results.text and 'hit listed'}")
+    print("\nvirtual time consumed:", round(fed.clock.now, 3), "s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Cross-zone federation: two data grids, one logical space.
+
+Data grids "span multiple administration domains" — taken to its
+conclusion, that means federating whole zones, each with its own MCAT,
+users and ticket authority (the direction the SRB took after this
+paper).  This example builds two zones, peers them, and shows:
+
+1. a user signed on at home reading data curated in the peer zone
+   (authenticated by ticket trust, authorized by the *peer's* ACLs);
+2. attribute discovery across the zone boundary;
+3. the boundary itself: cross-zone writes are refused until the user
+   connects to a server of the owning zone.
+
+Run:  python examples/cross_zone.py
+"""
+
+from repro.core import Federation, SrbClient
+from repro.errors import AccessDenied, UnsupportedOperation
+from repro.mcat import Condition
+from repro.net.simnet import Network, TRANSCON
+
+
+def main() -> None:
+    net = Network()
+    sdsc = Federation(zone="sdsc-zone", network=net)
+    npaci = Federation(zone="npaci-zone", network=net)
+    sdsc.add_host("sdsc-host")
+    npaci.add_host("npaci-host")
+    net.set_link("sdsc-host", "npaci-host", TRANSCON)
+    sdsc.add_server("srb-sdsc", "sdsc-host", mcat=True)
+    npaci.add_server("srb-npaci", "npaci-host", mcat=True)
+    sdsc.add_fs_resource("disk-sdsc", "sdsc-host")
+    npaci.add_fs_resource("disk-npaci", "npaci-host")
+    sdsc.default_resource = "disk-sdsc"
+    npaci.default_resource = "disk-npaci"
+
+    sdsc.bootstrap_admin()
+    npaci.bootstrap_admin("admin@npaci", "pw")
+    sdsc.federate_with(npaci)
+    print("zones peered: sdsc-zone <-> npaci-zone (mutual ticket trust)")
+
+    # the NPACI curator publishes a collection
+    curator_b = SrbClient(npaci, "npaci-host", "srb-npaci",
+                          "admin@npaci", "pw")
+    curator_b.login()
+    curator_b.mkcoll("/npaci-zone/lter")
+    curator_b.ingest("/npaci-zone/lter/sevilleta.hsi", b"hyperspectral cube")
+    curator_b.add_metadata("/npaci-zone/lter/sevilleta.hsi", "site",
+                           "sevilleta")
+
+    # a user homed at SDSC
+    sdsc.add_user("sekar@sdsc", "pw", role="curator")
+    user = SrbClient(sdsc, "sdsc-host", "srb-sdsc", "sekar@sdsc", "pw")
+    user.login()
+
+    # 1. denied until the *peer* grants — its ACLs govern its data
+    try:
+        user.get("/npaci-zone/lter/sevilleta.hsi")
+    except AccessDenied as exc:
+        print(f"before the NPACI grant: {exc}")
+    curator_b.grant("/npaci-zone/lter", "sekar@sdsc", "read")
+    data = user.get("/npaci-zone/lter/sevilleta.hsi")
+    print(f"after the grant: read {len(data)} bytes across the zone "
+          "boundary (forwarded by the home server)")
+
+    # 2. discovery across zones
+    hits = user.query("/npaci-zone/lter", [Condition("site", "=",
+                                                     "sevilleta")])
+    print(f"cross-zone query: {[row[0] for row in hits.rows]}")
+
+    # 3. writes stop at the boundary...
+    try:
+        user.ingest("/npaci-zone/lter/new.dat", b"x")
+    except UnsupportedOperation as exc:
+        print(f"cross-zone write refused: {exc}")
+    # ...until the user connects to the owning zone's server directly
+    curator_b.grant("/npaci-zone/lter", "sekar@sdsc", "write")
+    direct = SrbClient(npaci, "sdsc-host", "srb-npaci")
+    direct.ticket, direct.username = user.ticket, user.username
+    direct.ingest("/npaci-zone/lter/from-sdsc.dat", b"written in person")
+    print("connected to srb-npaci with the same ticket: write accepted")
+
+    print(f"\nvirtual time consumed: {net.clock.now:.3f}s; "
+          f"messages on the wire: {net.messages_sent}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Quickstart: build a two-site data grid, ingest, replicate, query.
+
+This walks the public API end to end:
+
+1. build the paper's example deployment (a Unix file system at SDSC, an
+   HPSS archive at CalTech, one MCAT-enabled SRB server, a second remote
+   server, a user's laptop);
+2. ingest a file into a *logical resource* that fans out to tape + disk;
+3. attach queryable metadata and find the file by attribute;
+4. kill the tape site and watch the read transparently fail over to the
+   surviving disk replica.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Federation, SrbClient
+from repro.mcat import Condition
+
+
+def main() -> None:
+    # -- 1. deploy the grid ------------------------------------------------
+    fed = Federation(zone="demozone")
+    fed.add_host("sdsc", site="sdsc")
+    fed.add_host("caltech", site="caltech")
+    fed.add_host("laptop", site="home")
+
+    fed.add_server("srb1", "sdsc", mcat=True)     # MCAT-enabled
+    fed.add_server("srb2", "caltech")
+
+    fed.add_fs_resource("unix-sdsc", "sdsc")
+    fed.add_archive_resource("hpss-caltech", "caltech")
+    # primary copy on the archive, second copy on disk
+    fed.add_logical_resource("logrsrc1", ["hpss-caltech", "unix-sdsc"])
+
+    # -- 2. users ------------------------------------------------------------
+    fed.bootstrap_admin()
+    admin = SrbClient(fed, "sdsc", "srb1", "srbadmin@sdsc", "hunter2")
+    admin.login()
+    admin.mkcoll("/demozone/home")
+
+    fed.add_user("sekar@sdsc", "secret", role="curator")
+    admin.grant("/demozone/home", "sekar@sdsc", "write")
+
+    client = SrbClient(fed, "laptop", "srb1", "sekar@sdsc", "secret")
+    client.login()                                 # single sign-on: one
+    client.mkcoll("/demozone/home/sekar")          # login, every resource
+
+    # -- 3. ingest into the logical resource ----------------------------------
+    path = "/demozone/home/sekar/survey-notes.txt"
+    client.ingest(path, b"2MASS coverage notes for the northern tiles",
+                  resource="logrsrc1", data_type="ascii text")
+    print(f"ingested {path}")
+    for rep in client.stat(path)["replicas"]:
+        print(f"  replica {rep['replica_num']} on {rep['resource']}")
+
+    # -- 4. metadata + discovery ---------------------------------------------
+    client.add_metadata(path, "survey", "2MASS")
+    client.add_metadata(path, "coverage", "north")
+    hits = client.query("/demozone/home/sekar",
+                        [Condition("survey", "=", "2MASS")])
+    print(f"query survey=2MASS -> {[row[0] for row in hits.rows]}")
+
+    # -- 5. failover ---------------------------------------------------------
+    t0 = fed.clock.now
+    data = client.get(path)                        # served by the primary
+    healthy = fed.clock.now - t0
+    print(f"read with both sites up: {healthy:.3f} virtual s")
+
+    fed.network.set_down("caltech")                # tape site dies
+    t0 = fed.clock.now
+    data = client.get(path)                        # automatic redirect
+    failover = fed.clock.now - t0
+    assert data.startswith(b"2MASS")
+    print(f"read with caltech down: {failover:.3f} virtual s "
+          "(includes the failed-attempt timeout)")
+
+    print("grid stats:", fed.stats())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""A scripted Scommand session.
+
+The SRB shipped command-line tools alongside the web interface ("the SRB
+allows ingestion through command line and API").  This example replays a
+complete terminal session against the demo grid, printing each command
+and its output like a transcript.  Run ``python -m repro.scommands`` for
+the interactive version.
+
+Run:  python examples/scommand_session.py
+"""
+
+import os
+import tempfile
+
+from repro.core import SrbClient
+from repro.scommands import Shell
+from repro.workload import standard_grid
+
+
+def transcript(shell: Shell, commands) -> None:
+    for line in commands:
+        print(f"srb:{shell.cwd}> {line}")
+        code, output = shell.run(line)
+        if output:
+            print(output)
+        if code != 0:
+            print(f"[exit {code}]")
+        print()
+
+
+def main() -> None:
+    grid = standard_grid()
+    grid.admin.grant("/demozone", "sekar@sdsc", "read")
+    shell = Shell(SrbClient(grid.fed, "laptop", "srb1"))
+
+    # a local file to upload
+    tmp = tempfile.NamedTemporaryFile(mode="w", suffix=".txt", delete=False)
+    tmp.write("SIMPLE  = T\nRA      = 150.25\nJMAG    = 7.1\nEND\n")
+    tmp.close()
+
+    transcript(shell, [
+        "Sinit sekar@sdsc secret",
+        "Scd /demozone/home/sekar",
+        "Smkdir observations",
+        "Scd observations",
+        f"Sput -R logrsrc1 -D 'fits image' {tmp.name} tile-001.fits",
+        "Sls -l",
+        "SgetD tile-001.fits",
+        "Smeta extract tile-001.fits 'fits header'",
+        "Smeta ls tile-001.fits",
+        "Squery RA > 100 JMAG < 8",
+        "Sreplicate -R unix-caltech tile-001.fits",
+        "Sverify tile-001.fits",
+        "Sannotate -t rating tile-001.fits good seeing that night",
+        "Schmod grant tile-001.fits * read",
+        "Slock tile-001.fits",
+        "Sunlock tile-001.fits",
+        "Spwd",
+        "Sexit",
+    ])
+    os.unlink(tmp.name)
+    print(f"virtual time consumed: {grid.fed.clock.now:.3f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro: reproduction of "MySRB & SRB: Components of a Data Grid" (HPDC 2002).
+
+Public API tour:
+
+* :class:`repro.core.Federation` — build a zone (hosts, servers, resources);
+* :class:`repro.core.SrbClient` — connect and use the data grid;
+* :mod:`repro.mcat` — metadata catalog, Dublin Core, attribute queries;
+* :mod:`repro.mysrb` — the web interface (WSGI app);
+* :mod:`repro.workload` — synthetic collections for benchmarks;
+* :mod:`repro.bench` — the experiment harness used by ``benchmarks/``.
+"""
+
+from repro.core import Federation, SrbClient, SrbServer
+
+__version__ = "1.0.0"
+
+__all__ = ["Federation", "SrbClient", "SrbServer", "__version__"]

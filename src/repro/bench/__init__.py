@@ -1,0 +1,12 @@
+"""Benchmark harness shared by the experiments in benchmarks/."""
+
+from repro.bench.harness import (
+    Measurement,
+    ResultTable,
+    assert_monotone,
+    geometric_speedup,
+    timed,
+)
+
+__all__ = ["Measurement", "ResultTable", "timed", "geometric_speedup",
+           "assert_monotone"]

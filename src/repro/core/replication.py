@@ -1,0 +1,146 @@
+"""Replica management: selection policies, failover, synchronization.
+
+The paper's replication claims this module carries:
+
+* "data may be replicated in different storage systems on different
+  hosts under control of different SRB servers to provide load
+  balancing" (selection policies; experiment E3);
+* "Fault tolerance — data can be accessed by the global persistent
+  identifier, with the system automatically redirecting access to a
+  replica on a separate storage system when the first storage system is
+  unavailable" (ordered failover; experiment E2);
+* "the consistency of the replicas should be maintained with very little
+  effort on the part of the users" (write-one/mark-dirty plus
+  :func:`synchronize`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReplicaUnavailable, ReplicationError
+from repro.mcat.catalog import Mcat
+from repro.net.simnet import Network
+from repro.storage.resource import ResourceRegistry
+
+SELECTION_POLICIES = ("primary", "round-robin", "random", "nearest")
+
+
+class ReplicaSelector:
+    """Orders an object's replicas for a read attempt.
+
+    Policies:
+
+    ``primary``      lowest replica number first (the paper's default:
+                     "the user can ask for a particular copy or let SRB
+                     choose its own access");
+    ``round-robin``  rotate the starting replica per call — spreads load
+                     across copies;
+    ``random``       deterministic LCG shuffle — statistically spreads
+                     load without shared state;
+    ``nearest``      ascending link latency from the reading host.
+    """
+
+    def __init__(self, resources: ResourceRegistry, network: Network,
+                 policy: str = "primary"):
+        if policy not in SELECTION_POLICIES:
+            raise ReplicationError(
+                f"unknown selection policy {policy!r}; "
+                f"choose from {SELECTION_POLICIES}")
+        self.resources = resources
+        self.network = network
+        self.policy = policy
+        self._rr_counter = 0
+        self._lcg_state = 0x9E3779B9
+
+    def _lcg(self) -> int:
+        self._lcg_state = (self._lcg_state * 6364136223846793005 +
+                           1442695040888963407) % (2**64)
+        return self._lcg_state
+
+    def order(self, replicas: List[Dict[str, Any]],
+              from_host: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Replicas in preferred access order (does not drop any: later
+        entries are the failover chain)."""
+        reps = sorted(replicas, key=lambda r: r["replica_num"])
+        if not reps:
+            return []
+        if self.policy == "primary":
+            return reps
+        if self.policy == "round-robin":
+            k = self._rr_counter % len(reps)
+            self._rr_counter += 1
+            return reps[k:] + reps[:k]
+        if self.policy == "random":
+            k = self._lcg() % len(reps)
+            return reps[k:] + reps[:k]
+        if self.policy == "nearest":
+            if from_host is None:
+                return reps
+            def latency(row: Dict[str, Any]) -> float:
+                res = self.resources.physical(row["resource"])
+                return self.network.link(from_host, res.host).latency_s
+            return sorted(reps, key=lambda r: (latency(r), r["replica_num"]))
+        raise ReplicationError(f"unknown policy {self.policy!r}")
+
+
+def pick_clean_available(selector: ReplicaSelector,
+                         resources: ResourceRegistry,
+                         replicas: List[Dict[str, Any]],
+                         from_host: Optional[str] = None,
+                         allow_dirty: bool = False) -> List[Dict[str, Any]]:
+    """The failover chain: ordered replicas that are clean and whose
+    resource is reachable right now.  Raises if the chain is empty."""
+    chain = []
+    for rep in selector.order(replicas, from_host=from_host):
+        if rep["is_dirty"] and not allow_dirty:
+            continue
+        if not resources.available(rep["resource"]):
+            continue
+        chain.append(rep)
+    if not chain:
+        raise ReplicaUnavailable(
+            "no clean replica on an available resource "
+            f"(of {len(replicas)} replicas)")
+    return chain
+
+
+def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
+                oid: int) -> int:
+    """Refresh every dirty replica of ``oid`` from a clean one.
+
+    Bytes move clean-resource-host -> dirty-resource-host; returns the
+    number of replicas refreshed.
+    """
+    replicas = mcat.replicas(oid)
+    clean = [r for r in replicas if not r["is_dirty"]
+             and r["container_oid"] is None]
+    dirty = [r for r in replicas if r["is_dirty"]
+             and r["container_oid"] is None]
+    if not dirty:
+        return 0
+    if not clean:
+        raise ReplicationError(f"object {oid} has no clean replica to sync from")
+    source = None
+    for rep in clean:
+        if resources.available(rep["resource"]):
+            source = rep
+            break
+    if source is None:
+        raise ReplicaUnavailable(f"no clean replica of {oid} reachable")
+    src_res = resources.physical(source["resource"])
+    data = src_res.driver.read_all(source["physical_path"])
+    refreshed = 0
+    for rep in dirty:
+        dst_res = resources.physical(rep["resource"])
+        if not resources.available(dst_res.name):
+            continue
+        if src_res.host != dst_res.host:
+            network.transfer(src_res.host, dst_res.host, len(data))
+        if dst_res.driver.exists(rep["physical_path"]):
+            dst_res.driver.delete(rep["physical_path"])
+        dst_res.driver.create(rep["physical_path"], data)
+        mcat.update_replica(oid, rep["replica_num"],
+                            is_dirty=False, size=len(data))
+        refreshed += 1
+    return refreshed

@@ -1,0 +1,12 @@
+"""Minimal relational engine: substrate for MCAT and database resources."""
+
+from repro.db.engine import Database, ResultSet
+from repro.db.table import Column, Table
+from repro.db.index import HashIndex, SortedIndex
+from repro.db.sql import is_select_only, like_to_regex, parse
+
+__all__ = [
+    "Database", "ResultSet", "Column", "Table",
+    "HashIndex", "SortedIndex",
+    "parse", "is_select_only", "like_to_regex",
+]

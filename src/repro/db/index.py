@@ -1,0 +1,137 @@
+"""Secondary indexes for the relational engine.
+
+Two flavours, matching what the MCAT query planner needs:
+
+:class:`HashIndex`
+    value -> set of row ids; O(1) equality lookups.  MCAT's attribute-name
+    and object-id lookups live here.
+
+:class:`SortedIndex`
+    (value, rid) pairs kept sorted with ``bisect``; O(log n + k) range
+    scans for ``<``/``>`` comparison operators in metadata queries.
+
+NULLs are never indexed for ranges (SQL semantics: comparisons with NULL
+are unknown), but hash indexes do store them so ``IS NULL``-style equality
+checks stay cheap.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Dict, List, Set
+
+from repro.errors import DatabaseError
+
+
+class HashIndex:
+    """Equality index: value -> row-id set."""
+
+    def __init__(self, unique: bool = False):
+        self.unique = unique
+        self._map: Dict[Any, Set[int]] = defaultdict(set)
+
+    def add(self, value: Any, rid: int) -> None:
+        value = _hashable(value)
+        bucket = self._map[value]
+        if self.unique and bucket:
+            raise DatabaseError(f"unique index violation for value {value!r}")
+        bucket.add(rid)
+
+    def remove(self, value: Any, rid: int) -> None:
+        value = _hashable(value)
+        bucket = self._map.get(value)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._map[value]
+
+    def get(self, value: Any) -> Set[int]:
+        return set(self._map.get(_hashable(value), ()))
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._map.values())
+
+
+class _NullFirst:
+    """Sort key wrapper placing NULL below every value and keeping
+    heterogeneous values comparable (typename breaks ties across types)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def _key(self):
+        if self.value is None:
+            return (0, "", None)
+        return (1, type(self.value).__name__, self.value)
+
+    def __lt__(self, other: "_NullFirst") -> bool:
+        a, b = self._key(), other._key()
+        if a[:2] != b[:2]:
+            return a[:2] < b[:2]
+        return a[2] < b[2]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _NullFirst) and self.value == other.value
+
+
+class SortedIndex:
+    """Range index over comparable values.
+
+    Stores parallel sorted lists of keys and row ids; ``bisect`` gives the
+    slice bounds for a range predicate.
+    """
+
+    def __init__(self):
+        self._keys: List[tuple] = []   # (sortkey, rid)
+        self._len = 0
+
+    @staticmethod
+    def _entry(value: Any, rid: int) -> tuple:
+        nf = _NullFirst(value)
+        return (nf._key()[:2], nf._key()[2] if value is not None else 0, rid)
+
+    def add(self, value: Any, rid: int) -> None:
+        if value is None:
+            return  # NULL never participates in range scans
+        entry = self._entry(value, rid)
+        bisect.insort(self._keys, entry)
+        self._len += 1
+
+    def remove(self, value: Any, rid: int) -> None:
+        if value is None:
+            return
+        entry = self._entry(value, rid)
+        pos = bisect.bisect_left(self._keys, entry)
+        if pos < len(self._keys) and self._keys[pos] == entry:
+            self._keys.pop(pos)
+            self._len -= 1
+
+    def range(self, lo: Any = None, hi: Any = None,
+              lo_incl: bool = True, hi_incl: bool = True) -> List[int]:
+        """Row ids whose value lies in [lo, hi] (bounds optional)."""
+        if lo is not None:
+            lo_entry = self._entry(lo, -1 if lo_incl else 2**62)
+            start = (bisect.bisect_left if lo_incl else bisect.bisect_right)(
+                self._keys, lo_entry)
+        else:
+            start = 0
+        if hi is not None:
+            hi_entry = self._entry(hi, 2**62 if hi_incl else -1)
+            stop = (bisect.bisect_right if hi_incl else bisect.bisect_left)(
+                self._keys, hi_entry)
+        else:
+            stop = len(self._keys)
+        return [rid for *_k, rid in self._keys[start:stop]]
+
+    def __len__(self) -> int:
+        return self._len
+
+
+def _hashable(value: Any) -> Any:
+    """Coerce mutable byte types so they can key a dict."""
+    if isinstance(value, bytearray):
+        return bytes(value)
+    return value

@@ -1,0 +1,29 @@
+"""MCAT: the Metadata Catalog behind the SRB logical name space."""
+
+from repro.mcat.catalog import Mcat
+from repro.mcat.dublin_core import (
+    DUBLIN_CORE_ELEMENTS,
+    MetadataSchema,
+    SchemaElement,
+    SchemaRegistry,
+    dublin_core_schema,
+)
+from repro.mcat.dump import export_catalog, import_catalog, migrate_catalog
+from repro.mcat.extraction import ExtractionMethod, ExtractionRegistry
+from repro.mcat.query import (
+    Condition,
+    DisplayOnly,
+    QueryResult,
+    queryable_attributes,
+    search,
+)
+from repro.mcat.schema import OBJECT_KINDS, PERMISSIONS
+
+__all__ = [
+    "Mcat", "OBJECT_KINDS", "PERMISSIONS",
+    "MetadataSchema", "SchemaElement", "SchemaRegistry",
+    "dublin_core_schema", "DUBLIN_CORE_ELEMENTS",
+    "ExtractionMethod", "ExtractionRegistry",
+    "Condition", "DisplayOnly", "QueryResult", "search", "queryable_attributes",
+    "export_catalog", "import_catalog", "migrate_catalog",
+]

@@ -1,0 +1,663 @@
+"""MCAT — the Metadata Catalog.
+
+One MCAT instance exists per federation zone (the paper's deployments ran
+it on Oracle at SDSC).  It is the authoritative record of the logical
+name space: collections, data objects of every kind, replicas, the five
+metadata classes, ACLs, annotations, audit trail, locks/pins/versions.
+
+The catalog is deliberately *mechanism*: it stores and retrieves rows and
+enforces referential rules (unique paths, replica numbering, cascade
+deletes).  Policy — which replica to read, whether an ACL permits an
+action, lock semantics — lives in :mod:`repro.core`, which calls down
+here, mirroring the SRB-server / MCAT split in the real system.
+
+Every public method charges catalog query time to the virtual clock
+proportional to the rows it touched, so MCAT cost appears in end-to-end
+latencies (and dominates them in the E4 scaling experiment).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.db import Database
+from repro.errors import (
+    AlreadyExists,
+    MandatoryMetadataMissing,
+    MetadataError,
+    NoSuchCollection,
+    NoSuchObject,
+    NoSuchReplica,
+    NotEmpty,
+    VocabularyViolation,
+)
+from repro.mcat.dublin_core import SchemaRegistry
+from repro.mcat.schema import OBJECT_KINDS, PERMISSIONS, build_schema
+from repro.util import paths
+from repro.util.clock import SimClock
+from repro.util.ids import IdFactory
+
+
+def _num(value: Optional[str]) -> Optional[float]:
+    """Numeric mirror of a metadata value, for range comparisons."""
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+class Mcat:
+    """Metadata catalog for one zone."""
+
+    QUERY_OVERHEAD_S = 200e-6
+    ROW_COST_S = 2e-6
+
+    def __init__(self, zone: str = "demozone",
+                 clock: Optional[SimClock] = None,
+                 ids: Optional[IdFactory] = None):
+        self.zone = zone
+        self.clock = clock
+        self.ids = ids if ids is not None else IdFactory()
+        # The backing database is *not* clock-wired: MCAT charges its own
+        # per-operation cost so that one logical catalog op = one charge,
+        # regardless of how many internal table calls it makes.
+        self.db = Database(name=f"mcat-{zone}")
+        build_schema(self.db)
+        # table handles cached once: the MCAT schema is fixed after build,
+        # and _rows_scanned runs on every catalog op (profiled hot path)
+        self._tables = [self.db.table(n) for n in self.db.tables()]
+        self.schemas = SchemaRegistry()
+        # root and zone collection exist from the start
+        self._insert_collection("/", None, owner="srb@localhost", now=0.0)
+        self._insert_collection(f"/{zone}", "/", owner="srb@localhost", now=0.0)
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+
+    def _rows_scanned(self) -> int:
+        return sum(t.rows_scanned for t in self._tables)
+
+    @contextmanager
+    def _charged(self):
+        before = self._rows_scanned()
+        try:
+            yield
+        finally:
+            if self.clock is not None:
+                touched = self._rows_scanned() - before
+                self.clock.advance(self.QUERY_OVERHEAD_S +
+                                   touched * self.ROW_COST_S)
+
+    # ------------------------------------------------------------------
+    # collections
+    # ------------------------------------------------------------------
+
+    def _insert_collection(self, path: str, parent: Optional[str],
+                           owner: str, now: float) -> int:
+        cid = self.ids.next_int("cid")
+        self.db.table("collections").insert({
+            "cid": cid, "path": path, "parent": parent,
+            "owner": owner, "created_at": now,
+        })
+        return cid
+
+    def create_collection(self, path: str, owner: str, now: float) -> int:
+        """Create a collection; its parent must already exist."""
+        with self._charged():
+            path = paths.normalize(path)
+            parent = paths.dirname(path)
+            if not self._collection_rid(parent):
+                raise NoSuchCollection(f"parent collection {parent!r} missing")
+            if self._collection_rid(path):
+                raise AlreadyExists(f"collection {path!r} exists")
+            if self._object_rid(path):
+                raise AlreadyExists(f"an object already has path {path!r}")
+            return self._insert_collection(path, parent, owner, now)
+
+    def _collection_rid(self, path: str) -> List[int]:
+        return self.db.table("collections").lookup_eq("path", path)
+
+    def collection_exists(self, path: str) -> bool:
+        with self._charged():
+            return bool(self._collection_rid(paths.normalize(path)))
+
+    def get_collection(self, path: str) -> Dict[str, Any]:
+        with self._charged():
+            rids = self._collection_rid(paths.normalize(path))
+            if not rids:
+                raise NoSuchCollection(f"no collection {path!r}")
+            return self.db.table("collections").row_dict(rids[0])
+
+    def child_collections(self, path: str) -> List[Dict[str, Any]]:
+        with self._charged():
+            t = self.db.table("collections")
+            rows = [t.row_dict(r) for r in t.lookup_eq("parent",
+                                                       paths.normalize(path))]
+            return sorted(rows, key=lambda r: r["path"])
+
+    def subtree_collections(self, prefix: str) -> List[Dict[str, Any]]:
+        """The collection at ``prefix`` and every descendant collection."""
+        with self._charged():
+            prefix = paths.normalize(prefix)
+            t = self.db.table("collections")
+            out = []
+            for rid in t.scan():
+                row = t.row_dict(rid)
+                if row["path"] == prefix or paths.is_ancestor(prefix, row["path"]):
+                    out.append(row)
+            return sorted(out, key=lambda r: r["path"])
+
+    def remove_collection(self, path: str) -> None:
+        """Remove an *empty* collection."""
+        with self._charged():
+            path = paths.normalize(path)
+            rids = self._collection_rid(path)
+            if not rids:
+                raise NoSuchCollection(f"no collection {path!r}")
+            t = self.db.table("collections")
+            if t.lookup_eq("parent", path):
+                raise NotEmpty(f"collection {path!r} has sub-collections")
+            if self.db.table("objects").lookup_eq("coll", path):
+                raise NotEmpty(f"collection {path!r} contains objects")
+            cid = t.value(rids[0], "cid")
+            self._purge_metadata("collection", cid)
+            t.delete_row(rids[0])
+
+    def rename_subtree(self, old_prefix: str, new_prefix: str) -> int:
+        """Rewrite every collection and object path under ``old_prefix``.
+
+        This is the heart of the paper's persistence claim: a recursive
+        move changes physical placement and/or the collection hierarchy
+        while logical names keep resolving.  Returns entries rewritten.
+        """
+        with self._charged():
+            old_prefix = paths.normalize(old_prefix)
+            new_prefix = paths.normalize(new_prefix)
+            colls = self.db.table("collections")
+            objs = self.db.table("objects")
+            count = 0
+            for rid in list(colls.scan()):
+                row = colls.row_dict(rid)
+                p = row["path"]
+                if p == old_prefix or paths.is_ancestor(old_prefix, p):
+                    newp = paths.relocate(p, old_prefix, new_prefix)
+                    changes = {"path": newp}
+                    if row["parent"] is not None:
+                        if row["parent"] == old_prefix or \
+                                paths.is_ancestor(old_prefix, row["parent"]) or \
+                                p == old_prefix:
+                            changes["parent"] = paths.dirname(newp)
+                    colls.update_row(rid, changes)
+                    count += 1
+            for rid in list(objs.scan()):
+                row = objs.row_dict(rid)
+                if paths.is_ancestor(old_prefix, row["path"]):
+                    newp = paths.relocate(row["path"], old_prefix, new_prefix)
+                    objs.update_row(rid, {"path": newp,
+                                          "coll": paths.dirname(newp),
+                                          "name": paths.basename(newp)})
+                    count += 1
+            return count
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+
+    def create_object(self, path: str, kind: str, owner: str, now: float,
+                      data_type: Optional[str] = None,
+                      size: Optional[int] = None,
+                      target: Optional[str] = None,
+                      template: Optional[str] = None,
+                      resource_hint: Optional[str] = None,
+                      checksum: Optional[str] = None) -> int:
+        """Register a new object row; the collection must exist."""
+        with self._charged():
+            if kind not in OBJECT_KINDS:
+                raise MetadataError(f"unknown object kind {kind!r}")
+            path = paths.normalize(path)
+            coll = paths.dirname(path)
+            if not self._collection_rid(coll):
+                raise NoSuchCollection(f"no collection {coll!r}")
+            if self._object_rid(path) or self._collection_rid(path):
+                raise AlreadyExists(f"path {path!r} already in use")
+            oid = self.ids.next_int("oid")
+            self.db.table("objects").insert({
+                "oid": oid, "path": path, "coll": coll,
+                "name": paths.basename(path), "kind": kind,
+                "data_type": data_type, "owner": owner,
+                "created_at": now, "modified_at": now, "size": size,
+                "target": target, "template": template,
+                "resource_hint": resource_hint,
+                "version": 1, "checked_out_by": None,
+                "checksum": checksum,
+            })
+            return oid
+
+    def _object_rid(self, path: str) -> List[int]:
+        return self.db.table("objects").lookup_eq("path", path)
+
+    def object_exists(self, path: str) -> bool:
+        with self._charged():
+            return bool(self._object_rid(paths.normalize(path)))
+
+    def get_object(self, path: str) -> Dict[str, Any]:
+        with self._charged():
+            rids = self._object_rid(paths.normalize(path))
+            if not rids:
+                raise NoSuchObject(f"no object {path!r}")
+            return self.db.table("objects").row_dict(rids[0])
+
+    def find_object(self, path: str) -> Optional[Dict[str, Any]]:
+        with self._charged():
+            rids = self._object_rid(paths.normalize(path))
+            return self.db.table("objects").row_dict(rids[0]) if rids else None
+
+    def get_object_by_id(self, oid: int) -> Dict[str, Any]:
+        with self._charged():
+            rids = self.db.table("objects").lookup_eq("oid", oid)
+            if not rids:
+                raise NoSuchObject(f"no object id {oid}")
+            return self.db.table("objects").row_dict(rids[0])
+
+    def update_object(self, oid: int, **changes: Any) -> None:
+        with self._charged():
+            rids = self.db.table("objects").lookup_eq("oid", oid)
+            if not rids:
+                raise NoSuchObject(f"no object id {oid}")
+            self.db.table("objects").update_row(rids[0], changes)
+
+    def move_object(self, oid: int, new_path: str) -> None:
+        """Logical move: only the path changes; metadata stays attached."""
+        with self._charged():
+            new_path = paths.normalize(new_path)
+            coll = paths.dirname(new_path)
+            if not self._collection_rid(coll):
+                raise NoSuchCollection(f"no collection {coll!r}")
+            if self._object_rid(new_path) or self._collection_rid(new_path):
+                raise AlreadyExists(f"path {new_path!r} already in use")
+            self.update_object(oid, path=new_path, coll=coll,
+                               name=paths.basename(new_path))
+
+    def objects_in_collection(self, coll: str,
+                              recursive: bool = False) -> List[Dict[str, Any]]:
+        with self._charged():
+            coll = paths.normalize(coll)
+            t = self.db.table("objects")
+            if not recursive:
+                rows = [t.row_dict(r) for r in t.lookup_eq("coll", coll)]
+            else:
+                rows = []
+                for rid in t.scan():
+                    row = t.row_dict(rid)
+                    if row["coll"] == coll or paths.is_ancestor(coll, row["coll"]):
+                        rows.append(row)
+            return sorted(rows, key=lambda r: r["path"])
+
+    def links_to(self, target_path: str) -> List[Dict[str, Any]]:
+        """Link objects whose target is ``target_path``."""
+        with self._charged():
+            t = self.db.table("objects")
+            out = []
+            for rid in t.lookup_eq("kind", "link"):
+                row = t.row_dict(rid)
+                if row["target"] == target_path:
+                    out.append(row)
+            return out
+
+    def delete_object(self, oid: int) -> None:
+        """Delete the object row and cascade all dependent rows."""
+        with self._charged():
+            t = self.db.table("objects")
+            rids = t.lookup_eq("oid", oid)
+            if not rids:
+                raise NoSuchObject(f"no object id {oid}")
+            for table, col in (("replicas", "oid"), ("locks", "oid"),
+                               ("pins", "oid"), ("versions", "oid")):
+                tab = self.db.table(table)
+                for rid in list(tab.lookup_eq(col, oid)):
+                    tab.delete_row(rid)
+            self._purge_metadata("object", oid)
+            t.delete_row(rids[0])
+
+    def _purge_metadata(self, target_kind: str, target_id: int) -> None:
+        for table in ("metadata", "annotations", "acls"):
+            tab = self.db.table(table)
+            for rid in list(tab.lookup_eq("target_id", target_id)):
+                if tab.value(rid, "target_kind") == target_kind:
+                    tab.delete_row(rid)
+
+    def count_objects(self) -> int:
+        with self._charged():
+            return len(self.db.table("objects"))
+
+    # ------------------------------------------------------------------
+    # replicas
+    # ------------------------------------------------------------------
+
+    def add_replica(self, oid: int, resource: str, physical_path: str,
+                    size: int, now: float,
+                    container_oid: Optional[int] = None,
+                    offset: Optional[int] = None) -> int:
+        with self._charged():
+            existing = self._replica_rows(oid)
+            replica_num = 1 + max((r["replica_num"] for r in existing), default=0)
+            self.db.table("replicas").insert({
+                "rid": self.ids.next_int("rid"), "oid": oid,
+                "replica_num": replica_num, "resource": resource,
+                "physical_path": physical_path, "size": size,
+                "created_at": now, "is_dirty": False,
+                "container_oid": container_oid, "offset": offset,
+            })
+            return replica_num
+
+    def _replica_rows(self, oid: int) -> List[Dict[str, Any]]:
+        t = self.db.table("replicas")
+        rows = [t.row_dict(r) for r in t.lookup_eq("oid", oid)]
+        return sorted(rows, key=lambda r: r["replica_num"])
+
+    def replicas(self, oid: int) -> List[Dict[str, Any]]:
+        with self._charged():
+            return self._replica_rows(oid)
+
+    def get_replica(self, oid: int, replica_num: int) -> Dict[str, Any]:
+        with self._charged():
+            for row in self._replica_rows(oid):
+                if row["replica_num"] == replica_num:
+                    return row
+            raise NoSuchReplica(f"object {oid} has no replica {replica_num}")
+
+    def remove_replica(self, oid: int, replica_num: int) -> None:
+        with self._charged():
+            t = self.db.table("replicas")
+            for rid in list(t.lookup_eq("oid", oid)):
+                if t.value(rid, "replica_num") == replica_num:
+                    t.delete_row(rid)
+                    return
+            raise NoSuchReplica(f"object {oid} has no replica {replica_num}")
+
+    def update_replica(self, oid: int, replica_num: int, **changes: Any) -> None:
+        with self._charged():
+            t = self.db.table("replicas")
+            for rid in t.lookup_eq("oid", oid):
+                if t.value(rid, "replica_num") == replica_num:
+                    t.update_row(rid, changes)
+                    return
+            raise NoSuchReplica(f"object {oid} has no replica {replica_num}")
+
+    def mark_siblings_dirty(self, oid: int, fresh_replica_num: int) -> None:
+        """After a write lands on one replica, others are out of sync."""
+        with self._charged():
+            t = self.db.table("replicas")
+            for rid in t.lookup_eq("oid", oid):
+                is_fresh = t.value(rid, "replica_num") == fresh_replica_num
+                t.update_row(rid, {"is_dirty": not is_fresh})
+
+    def replicas_on_resource(self, resource: str) -> List[Dict[str, Any]]:
+        with self._charged():
+            t = self.db.table("replicas")
+            return [t.row_dict(r) for r in t.lookup_eq("resource", resource)]
+
+    def container_members(self, container_oid: int) -> List[Dict[str, Any]]:
+        """Replica rows whose bytes live inside ``container_oid``."""
+        with self._charged():
+            t = self.db.table("replicas")
+            rows = [t.row_dict(r) for r in t.lookup_eq("container_oid",
+                                                       container_oid)]
+            return sorted(rows, key=lambda r: (r["offset"] or 0))
+
+    # ------------------------------------------------------------------
+    # metadata (five classes; system metadata lives on the object row)
+    # ------------------------------------------------------------------
+
+    def add_metadata(self, target_kind: str, target_id: int, attr: str,
+                     value: Optional[str], by: str, now: float,
+                     units: Optional[str] = None,
+                     meta_class: str = "user",
+                     schema_name: Optional[str] = None) -> int:
+        with self._charged():
+            if target_kind not in ("object", "collection"):
+                raise MetadataError(f"bad metadata target kind {target_kind!r}")
+            if meta_class not in ("user", "type", "file-based"):
+                raise MetadataError(f"bad metadata class {meta_class!r}")
+            if not attr:
+                raise MetadataError("metadata attribute name may not be empty")
+            if meta_class == "type":
+                schema = self.schemas.get(schema_name or "")
+                element = schema.element(attr)
+                if value is not None:
+                    element.check(value)
+            mid = self.ids.next_int("mid")
+            self.db.table("metadata").insert({
+                "mid": mid, "target_kind": target_kind, "target_id": target_id,
+                "meta_class": meta_class, "schema_name": schema_name,
+                "attr": attr, "value": value, "value_num": _num(value),
+                "units": units, "created_by": by, "created_at": now,
+            })
+            return mid
+
+    def get_metadata(self, target_kind: str, target_id: int,
+                     meta_class: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._charged():
+            t = self.db.table("metadata")
+            rows = []
+            for rid in t.lookup_eq("target_id", target_id):
+                row = t.row_dict(rid)
+                if row["target_kind"] != target_kind:
+                    continue
+                if meta_class is not None and row["meta_class"] != meta_class:
+                    continue
+                rows.append(row)
+            return sorted(rows, key=lambda r: r["mid"])
+
+    def update_metadata(self, mid: int, value: Optional[str],
+                        units: Optional[str] = None) -> None:
+        with self._charged():
+            t = self.db.table("metadata")
+            rids = t.lookup_eq("mid", mid)
+            if not rids:
+                raise MetadataError(f"no metadata row {mid}")
+            t.update_row(rids[0], {"value": value, "value_num": _num(value),
+                                   "units": units})
+
+    def delete_metadata(self, mid: int) -> None:
+        with self._charged():
+            t = self.db.table("metadata")
+            rids = t.lookup_eq("mid", mid)
+            if not rids:
+                raise MetadataError(f"no metadata row {mid}")
+            t.delete_row(rids[0])
+
+    def copy_metadata(self, src_kind: str, src_id: int,
+                      dst_kind: str, dst_id: int, by: str, now: float) -> int:
+        """The paper's third ingestion method: copy metadata across objects."""
+        copied = 0
+        for row in self.get_metadata(src_kind, src_id):
+            self.add_metadata(dst_kind, dst_id, row["attr"], row["value"],
+                              by=by, now=now, units=row["units"],
+                              meta_class=row["meta_class"],
+                              schema_name=row["schema_name"])
+            copied += 1
+        return copied
+
+    # ------------------------------------------------------------------
+    # structural metadata (collection-level requirements)
+    # ------------------------------------------------------------------
+
+    def define_structural(self, coll_path: str, attr: str,
+                          default_value: Optional[str] = None,
+                          vocabulary: Optional[Sequence[str]] = None,
+                          mandatory: bool = False,
+                          comment: Optional[str] = None) -> int:
+        with self._charged():
+            coll_path = paths.normalize(coll_path)
+            if not self._collection_rid(coll_path):
+                raise NoSuchCollection(f"no collection {coll_path!r}")
+            smid = self.ids.next_int("smid")
+            self.db.table("structural_meta").insert({
+                "smid": smid, "coll_path": coll_path, "attr": attr,
+                "default_value": default_value,
+                "vocabulary": "|".join(vocabulary) if vocabulary else None,
+                "mandatory": mandatory, "comment": comment,
+            })
+            return smid
+
+    def structural_for(self, coll_path: str,
+                       inherited: bool = True) -> List[Dict[str, Any]]:
+        """Structural requirements applying at ``coll_path``.
+
+        With ``inherited``, requirements defined on ancestor collections
+        apply too (the curator scenario: "MetaCore for Cultures" defined on
+        the parent governs the new "Avian Culture" sub-collection).
+        """
+        with self._charged():
+            coll_path = paths.normalize(coll_path)
+            scopes = [coll_path]
+            if inherited:
+                scopes = paths.ancestors(coll_path) + scopes
+            t = self.db.table("structural_meta")
+            rows = []
+            for scope in scopes:
+                for rid in t.lookup_eq("coll_path", scope):
+                    rows.append(t.row_dict(rid))
+            return rows
+
+    def validate_ingest_metadata(self, coll_path: str,
+                                 provided: Dict[str, str]) -> Dict[str, str]:
+        """Apply defaults and enforce mandatory/vocabulary rules.
+
+        Returns the effective attribute dict an ingest should attach.
+        """
+        effective = dict(provided)
+        missing = []
+        for req in self.structural_for(coll_path):
+            attr = req["attr"]
+            vocab = req["vocabulary"].split("|") if req["vocabulary"] else None
+            if attr not in effective:
+                if req["default_value"] is not None:
+                    effective[attr] = req["default_value"]
+                elif req["mandatory"]:
+                    missing.append(attr)
+                    continue
+                else:
+                    continue
+            if vocab is not None and effective[attr] not in vocab:
+                raise VocabularyViolation(
+                    f"{attr}={effective[attr]!r} not in vocabulary {vocab} "
+                    f"for collection {coll_path!r}")
+        if missing:
+            raise MandatoryMetadataMissing(missing)
+        return effective
+
+    # ------------------------------------------------------------------
+    # annotations
+    # ------------------------------------------------------------------
+
+    ANNOTATION_TYPES = ("comment", "rating", "errata", "dialogue",
+                        "annotation", "memo", "query", "answer")
+
+    def add_annotation(self, target_kind: str, target_id: int, ann_type: str,
+                       author: str, text: str, now: float,
+                       location: Optional[str] = None) -> int:
+        with self._charged():
+            if ann_type not in self.ANNOTATION_TYPES:
+                raise MetadataError(f"unknown annotation type {ann_type!r}")
+            aid = self.ids.next_int("aid")
+            self.db.table("annotations").insert({
+                "aid": aid, "target_kind": target_kind, "target_id": target_id,
+                "ann_type": ann_type, "location": location, "author": author,
+                "created_at": now, "text": text,
+            })
+            return aid
+
+    def annotations_for(self, target_kind: str,
+                        target_id: int) -> List[Dict[str, Any]]:
+        with self._charged():
+            t = self.db.table("annotations")
+            rows = [t.row_dict(r) for r in t.lookup_eq("target_id", target_id)
+                    if t.row_dict(r)["target_kind"] == target_kind]
+            return sorted(rows, key=lambda r: r["aid"])
+
+    def delete_annotation(self, aid: int) -> None:
+        with self._charged():
+            t = self.db.table("annotations")
+            rids = t.lookup_eq("aid", aid)
+            if not rids:
+                raise MetadataError(f"no annotation {aid}")
+            t.delete_row(rids[0])
+
+    # ------------------------------------------------------------------
+    # ACL rows (policy in repro.core.access)
+    # ------------------------------------------------------------------
+
+    def grant(self, target_kind: str, target_id: int, principal: str,
+              permission: str) -> None:
+        with self._charged():
+            if permission not in PERMISSIONS:
+                raise MetadataError(f"unknown permission {permission!r}")
+            t = self.db.table("acls")
+            # replace any existing grant for the same principal+target
+            for rid in list(t.lookup_eq("target_id", target_id)):
+                row = t.row_dict(rid)
+                if row["target_kind"] == target_kind and \
+                        row["principal"] == principal:
+                    t.delete_row(rid)
+            t.insert({"aclid": self.ids.next_int("aclid"),
+                      "target_kind": target_kind, "target_id": target_id,
+                      "principal": principal, "permission": permission})
+
+    def revoke(self, target_kind: str, target_id: int, principal: str) -> None:
+        with self._charged():
+            t = self.db.table("acls")
+            for rid in list(t.lookup_eq("target_id", target_id)):
+                row = t.row_dict(rid)
+                if row["target_kind"] == target_kind and \
+                        row["principal"] == principal:
+                    t.delete_row(rid)
+
+    def grants_for(self, target_kind: str, target_id: int) -> List[Dict[str, Any]]:
+        with self._charged():
+            t = self.db.table("acls")
+            return [t.row_dict(r) for r in t.lookup_eq("target_id", target_id)
+                    if t.row_dict(r)["target_kind"] == target_kind]
+
+    # ------------------------------------------------------------------
+    # audit
+    # ------------------------------------------------------------------
+
+    def record_audit(self, now: float, principal: str, action: str,
+                     target: str, detail: Optional[str] = None,
+                     ok: bool = True) -> int:
+        with self._charged():
+            auid = self.ids.next_int("auid")
+            self.db.table("audit").insert({
+                "auid": auid, "at": now, "principal": principal,
+                "action": action, "target": target, "detail": detail, "ok": ok,
+            })
+            return auid
+
+    def audit_query(self, principal: Optional[str] = None,
+                    action: Optional[str] = None,
+                    target: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._charged():
+            t = self.db.table("audit")
+            if principal is not None:
+                rids = t.lookup_eq("principal", principal)
+            elif action is not None:
+                rids = t.lookup_eq("action", action)
+            else:
+                rids = list(t.scan())
+            rows = []
+            for rid in rids:
+                row = t.row_dict(rid)
+                if action is not None and row["action"] != action:
+                    continue
+                if principal is not None and row["principal"] != principal:
+                    continue
+                if target is not None and row["target"] != target:
+                    continue
+                rows.append(row)
+            return sorted(rows, key=lambda r: r["auid"])

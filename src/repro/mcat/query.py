@@ -1,0 +1,263 @@
+"""Attribute-based discovery: the MySRB query interface.
+
+The paper describes the query page precisely: each condition has (1) a
+metadata-name drop-down populated with "all the metadata names that are
+queryable in that collection and every collection in the hierarchy under
+the collection", (2) a comparison operator among ``= > < <= >= <> like
+not like``, (3) a value box, and (4) a checkbox to *display* the
+attribute in the result listing even if it is not constrained.  The
+query "is taken as a conjunctive query ... an AND of all the conditions".
+
+:func:`search` implements exactly that against the MCAT, returning one
+row per matching object with its logical path and the requested display
+attributes.  Annotations and selected system metadata can optionally be
+queried too, as the paper allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.db.sql import like_to_regex
+from repro.errors import QueryError
+from repro.mcat.catalog import Mcat
+from repro.util import paths
+
+OPERATORS = ("=", "<>", ">", "<", ">=", "<=", "like", "not like")
+
+#: system metadata names exposed to the query interface
+SYSTEM_ATTRS = ("SYS:owner", "SYS:data_type", "SYS:kind", "SYS:size")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One row of the MySRB query form."""
+
+    attr: str
+    op: str = "="
+    value: Optional[str] = None
+    display: bool = True
+
+    def __post_init__(self):
+        if self.op not in OPERATORS:
+            raise QueryError(f"unknown operator {self.op!r}; use one of {OPERATORS}")
+
+
+@dataclass(frozen=True)
+class DisplayOnly:
+    """A checked display box with no constraint ("one can check the box of
+    a metadata name without using it as part of any query condition")."""
+
+    attr: str
+
+
+@dataclass
+class QueryResult:
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+
+    def dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, r)) for r in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def _match(op: str, stored_value: Optional[str], stored_num: Optional[float],
+           wanted: Optional[str]) -> bool:
+    """Evaluate one comparison against a stored metadata triple.
+
+    Numeric comparison applies when both sides parse as numbers; otherwise
+    lexicographic on the text form, matching how MCAT-on-Oracle behaves
+    with a VARCHAR value column plus a numeric mirror.
+    """
+    if stored_value is None or wanted is None:
+        return False
+    if op in ("like", "not like"):
+        hit = bool(like_to_regex(wanted).match(stored_value))
+        return hit if op == "like" else not hit
+    try:
+        wanted_num: Optional[float] = float(wanted)
+    except ValueError:
+        wanted_num = None
+    a: Any
+    b: Any
+    if stored_num is not None and wanted_num is not None:
+        a, b = stored_num, wanted_num
+    else:
+        a, b = stored_value, wanted
+    if op == "=":
+        return a == b
+    if op == "<>":
+        return a != b
+    if op == ">":
+        return a > b
+    if op == "<":
+        return a < b
+    if op == ">=":
+        return a >= b
+    if op == "<=":
+        return a <= b
+    raise QueryError(f"unknown operator {op!r}")
+
+
+def queryable_attributes(mcat: Mcat, scope: str,
+                         include_system: bool = False) -> List[str]:
+    """Attribute names for the drop-down: every metadata name attached to
+    any object in ``scope`` or below, plus structural attributes defined
+    for the scope's subtree."""
+    scope = paths.normalize(scope)
+    names: Set[str] = set()
+    objs = {row["oid"] for row in mcat.objects_in_collection(scope, recursive=True)}
+    colls = {row["cid"]: row["path"] for row in mcat.subtree_collections(scope)}
+    md = mcat.db.table("metadata")
+    for rid in md.scan():
+        row = md.row_dict(rid)
+        if row["target_kind"] == "object" and row["target_id"] in objs:
+            names.add(row["attr"])
+        elif row["target_kind"] == "collection" and row["target_id"] in colls:
+            names.add(row["attr"])
+    st = mcat.db.table("structural_meta")
+    for rid in st.scan():
+        row = st.row_dict(rid)
+        if row["coll_path"] in colls.values():
+            names.add(row["attr"])
+    out = sorted(names)
+    if include_system:
+        out.extend(SYSTEM_ATTRS)
+    return out
+
+
+def _index_candidates(mcat: Mcat,
+                      conditions: Sequence[Condition]) -> Optional[set]:
+    """Candidate object ids from the metadata attribute indexes.
+
+    This is the plan a production MCAT uses: drive each condition from
+    the ``metadata.attr`` index (touching only rows that *carry* the
+    attribute), evaluate the comparison on those rows, and intersect the
+    per-condition target sets.  Returns None when no condition can be
+    index-driven (caller falls back to the scope scan).
+
+    Only usable when every condition targets plain object metadata —
+    ``SYS:``/``ANN:`` pseudo-attributes live outside the metadata table.
+    """
+    if not conditions:
+        return None
+    if any(c.attr.startswith(("SYS:", "ANN:")) for c in conditions):
+        return None
+    md = mcat.db.table("metadata")
+    if "attr" not in md.indexed_columns():
+        return None
+    result: Optional[set] = None
+    for cond in conditions:
+        targets = set()
+        for rid in md.lookup_eq("attr", cond.attr):
+            if md.value(rid, "target_kind") != "object":
+                continue
+            if _match(cond.op, md.value(rid, "value"),
+                      md.value(rid, "value_num"), cond.value):
+                targets.add(md.value(rid, "target_id"))
+        result = targets if result is None else (result & targets)
+        if not result:
+            return set()
+    return result
+
+
+def search(mcat: Mcat, scope: str,
+           conditions: Sequence[Condition | DisplayOnly],
+           include_annotations: bool = False,
+           include_system: bool = False,
+           limit: Optional[int] = None,
+           strategy: str = "auto") -> QueryResult:
+    """Run a conjunctive attribute query under collection ``scope``.
+
+    Returns one row per matching object: ``path`` first, then a column per
+    displayed attribute (multi-valued attributes join with '; ').
+
+    ``strategy`` selects the access plan:
+
+    * ``"scan"``   — enumerate every object under ``scope`` and test each
+      (always correct; cost ~ objects in scope);
+    * ``"index"``  — drive candidates from the metadata attribute indexes
+      and verify scope membership per hit (cost ~ rows carrying the
+      queried attributes); falls back to scan when not applicable;
+    * ``"auto"``   — index when possible, else scan.  Results are
+      identical across strategies (asserted in tests and in E4).
+    """
+    if strategy not in ("auto", "scan", "index"):
+        raise QueryError(f"unknown strategy {strategy!r}")
+    scope = paths.normalize(scope)
+    real_conditions = [c for c in conditions if isinstance(c, Condition)]
+    display_attrs: List[str] = []
+    for c in conditions:
+        attr = c.attr
+        show = c.display if isinstance(c, Condition) else True
+        if show and attr not in display_attrs:
+            display_attrs.append(attr)
+
+    for c in real_conditions:
+        if c.value is None:
+            raise QueryError(f"condition on {c.attr!r} has no value")
+
+    candidate_ids: Optional[set] = None
+    if strategy in ("auto", "index"):
+        candidate_ids = _index_candidates(mcat, real_conditions)
+    if candidate_ids is not None:
+        candidates = []
+        for oid in sorted(candidate_ids):
+            obj = mcat.get_object_by_id(int(oid))
+            if obj["coll"] == scope or paths.is_ancestor(scope, obj["coll"]):
+                candidates.append(obj)
+        candidates.sort(key=lambda o: o["path"])
+    else:
+        candidates = mcat.objects_in_collection(scope, recursive=True)
+
+    matched: List[Dict[str, Any]] = []
+    attr_cache: Dict[int, Dict[str, List[Tuple[Optional[str], Optional[float]]]]] = {}
+    for obj in candidates:
+        oid = obj["oid"]
+        values = _attribute_values(mcat, obj, include_annotations,
+                                   include_system)
+        attr_cache[oid] = values
+        ok = True
+        for cond in real_conditions:
+            stored = values.get(cond.attr, [])
+            if not any(_match(cond.op, v, n, cond.value) for v, n in stored):
+                ok = False
+                break
+        if ok:
+            matched.append(obj)
+            if limit is not None and len(matched) >= limit:
+                break
+
+    columns = ["path"] + display_attrs
+    rows = []
+    for obj in matched:
+        values = attr_cache[obj["oid"]]
+        row: List[Any] = [obj["path"]]
+        for attr in display_attrs:
+            stored = values.get(attr, [])
+            row.append("; ".join(v for v, _n in stored if v is not None) or None)
+        rows.append(tuple(row))
+    return QueryResult(columns=columns, rows=rows)
+
+
+def _attribute_values(mcat: Mcat, obj: Dict[str, Any],
+                      include_annotations: bool, include_system: bool):
+    """attr -> [(value, value_num), ...] for one object."""
+    out: Dict[str, List[Tuple[Optional[str], Optional[float]]]] = {}
+    for row in mcat.get_metadata("object", obj["oid"]):
+        out.setdefault(row["attr"], []).append((row["value"], row["value_num"]))
+    if include_annotations:
+        for ann in mcat.annotations_for("object", obj["oid"]):
+            out.setdefault("ANN:" + ann["ann_type"], []).append((ann["text"], None))
+    if include_system:
+        out.setdefault("SYS:owner", []).append((obj["owner"], None))
+        if obj["data_type"] is not None:
+            out.setdefault("SYS:data_type", []).append((obj["data_type"], None))
+        out.setdefault("SYS:kind", []).append((obj["kind"], None))
+        if obj["size"] is not None:
+            out.setdefault("SYS:size", []).append(
+                (str(obj["size"]), float(obj["size"])))
+    return out

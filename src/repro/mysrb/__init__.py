@@ -1,0 +1,7 @@
+"""MySRB: the web interface to the SRB."""
+
+from repro.mysrb.app import COOKIE_NAME, MySrbApp, Request, Response
+from repro.mysrb.testing import Browser, WsgiResponse
+
+__all__ = ["MySrbApp", "Browser", "WsgiResponse", "Request", "Response",
+           "COOKIE_NAME"]

@@ -1,0 +1,446 @@
+"""The MySRB WSGI application.
+
+A thin CGI-style gateway: it terminates (simulated) https, manages
+session keys, and translates form submissions into SRB client calls.
+The app itself runs on a grid host ("the web server") and connects to an
+SRB server like any other client, so every page load charges real
+catalog/network costs.
+
+Security, per the paper: https only (plain http is refused), a unique
+session key per sign-on held in a cookie, a 60-minute session limit, and
+validation of the key on every request.
+"""
+
+from __future__ import annotations
+
+from http.cookies import SimpleCookie
+from typing import Any, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs
+
+from repro.auth.sessions import SessionManager
+from repro.core.client import SrbClient
+from repro.core.federation import Federation
+from repro.errors import (
+    AccessDenied,
+    AuthError,
+    BadCredentials,
+    NoSuchCollection,
+    NoSuchObject,
+    SessionExpired,
+    SrbError,
+)
+from repro.mcat.query import Condition, DisplayOnly
+from repro.mysrb import views
+from repro.util import paths
+
+COOKIE_NAME = "MYSRB_SESSION"
+
+StartResponse = Callable[[str, List[Tuple[str, str]]], Any]
+
+
+class Request:
+    """Parsed WSGI environ."""
+
+    def __init__(self, environ: Dict[str, Any]):
+        self.method = environ.get("REQUEST_METHOD", "GET").upper()
+        self.path = environ.get("PATH_INFO", "/") or "/"
+        self.scheme = environ.get("wsgi.url_scheme", "http")
+        self.query: Dict[str, str] = {
+            k: v[0] for k, v in parse_qs(environ.get("QUERY_STRING", "")).items()}
+        self.form: Dict[str, str] = {}
+        if self.method == "POST":
+            try:
+                length = int(environ.get("CONTENT_LENGTH") or 0)
+            except ValueError:
+                length = 0
+            body = environ["wsgi.input"].read(length) if length else b""
+            self.form = {k: v[0] for k, v in
+                         parse_qs(body.decode("utf-8")).items()}
+        cookie = SimpleCookie(environ.get("HTTP_COOKIE", ""))
+        self.session_key = cookie[COOKIE_NAME].value \
+            if COOKIE_NAME in cookie else None
+
+    def param(self, name: str, default: str = "") -> str:
+        return self.form.get(name, self.query.get(name, default))
+
+
+class Response:
+    """An HTTP response under construction (status, headers, body)."""
+
+    def __init__(self, body: str, status: str = "200 OK",
+                 content_type: str = "text/html; charset=utf-8"):
+        self.status = status
+        self.headers: List[Tuple[str, str]] = [("Content-Type", content_type)]
+        self.body = body.encode("utf-8")
+
+    def set_cookie(self, name: str, value: str) -> None:
+        self.headers.append(("Set-Cookie",
+                             f"{name}={value}; Secure; HttpOnly; Path=/"))
+
+    @classmethod
+    def redirect(cls, location: str) -> "Response":
+        resp = cls("", status="303 See Other")
+        resp.headers.append(("Location", location))
+        return resp
+
+
+class MySrbApp:
+    """WSGI callable serving the MySRB interface for one federation."""
+
+    def __init__(self, federation: Federation, www_host: str = "mysrb-www",
+                 server_name: Optional[str] = None,
+                 require_https: bool = True):
+        self.federation = federation
+        self.require_https = require_https
+        if www_host not in [h.name for h in federation.network.hosts()]:
+            federation.network.add_host(www_host, site="web")
+        self.www_host = www_host
+        self.server_name = server_name or federation.mcat_server.name
+        self.sessions = SessionManager(federation.clock)
+        self.pages_served = 0
+
+    # -- WSGI entry point --------------------------------------------------------
+
+    def __call__(self, environ: Dict[str, Any],
+                 start_response: StartResponse):
+        request = Request(environ)
+        response = self.handle(request)
+        start_response(response.status, response.headers)
+        return [response.body]
+
+    # -- request handling ---------------------------------------------------------
+
+    def handle(self, request: Request) -> Response:
+        self.pages_served += 1
+        if self.require_https and request.scheme != "https":
+            return Response(views.error_page(
+                "403 https required",
+                "MySRB uses the secure-http (https) protocol."),
+                status="403 Forbidden")
+        try:
+            return self._route(request)
+        except (AuthError, SessionExpired) as exc:
+            return Response(views.login_form(str(exc)),
+                            status="401 Unauthorized")
+        except AccessDenied as exc:
+            return Response(views.error_page("403 Forbidden", str(exc)),
+                            status="403 Forbidden")
+        except (NoSuchObject, NoSuchCollection) as exc:
+            return Response(views.error_page("404 Not Found", str(exc)),
+                            status="404 Not Found")
+        except SrbError as exc:
+            return Response(views.error_page("400 Bad Request", str(exc)),
+                            status="400 Bad Request")
+
+    def _client(self, request: Request) -> SrbClient:
+        """An SRB client bound to the caller's session (or public)."""
+        client = SrbClient(self.federation, self.www_host, self.server_name)
+        if request.session_key is not None:
+            session = self.sessions.validate(request.session_key)
+            client.ticket = session.ticket
+            client.username = str(session.principal)
+        return client
+
+    def _route(self, request: Request) -> Response:
+        path, method = request.path, request.method
+        if path == "/":
+            return Response.redirect(f"/browse?path=/{self.federation.zone}")
+        if path == "/login" and method == "GET":
+            return Response(views.login_form())
+        if path == "/login" and method == "POST":
+            return self._do_login(request)
+        if path == "/logout":
+            if request.session_key:
+                self.sessions.close(request.session_key)
+            return Response.redirect("/login")
+        if path == "/help":
+            return Response(views.help_page())
+        if path == "/resources":
+            return Response(views.resources_page(self._client(request)))
+        if path == "/newuser":
+            return self._do_newuser(request)
+
+        client = self._client(request)
+        if path == "/browse":
+            target = request.param("path", f"/{self.federation.zone}")
+            return Response(views.browse(client, target))
+        if path == "/open":
+            return Response(views.open_object(client, request.param("path")))
+        if path == "/ingest" and method == "GET":
+            return Response(views.ingest_form(
+                client, request.param("coll"),
+                resources=self._resource_names(),
+                containers=self._container_paths(client,
+                                                  request.param("coll"))))
+        if path == "/ingest" and method == "POST":
+            return self._do_ingest(client, request)
+        if path == "/mkcoll":
+            coll = request.param("coll")
+            name = request.param("name")
+            if method == "POST" and name:
+                client.mkcoll(paths.join(coll, name))
+                return Response.redirect(f"/browse?path={views.H.url_quote(coll)}")
+            from repro.mysrb import html as H
+            body = H.form("/mkcoll", H.hidden_field("coll", coll)
+                          + H.text_field("name", "New collection name"),
+                          submit="Create")
+            return Response(H.simple_page("New collection", body))
+        if path == "/structural" and method == "GET":
+            return Response(views.structural_form(client,
+                                                  request.param("coll")))
+        if path == "/structural" and method == "POST":
+            coll = request.param("coll")
+            vocab = request.param("vocabulary")
+            client.define_structural(
+                coll, request.param("attr"),
+                default_value=request.param("default_value") or None,
+                vocabulary=vocab.split("|") if vocab else None,
+                mandatory=bool(request.form.get("mandatory")),
+                comment=request.param("comment") or None)
+            return Response.redirect(
+                f"/structural?coll={views.H.url_quote(coll)}")
+        if path == "/metadata" and method == "GET":
+            return Response(views.metadata_form(client, request.param("path")))
+        if path == "/metadata" and method == "POST":
+            return self._do_metadata(client, request)
+        if path == "/annotate" and method == "GET":
+            from repro.mysrb import html as H
+            p = request.param("path")
+            body = H.form("/annotate", H.hidden_field("path", p)
+                          + H.select_field("ann_type", "Type",
+                                           ["comment", "rating", "errata",
+                                            "dialogue", "annotation"])
+                          + H.textarea("text", "Text")
+                          + H.text_field("location", "Location"),
+                          submit="Annotate")
+            return Response(H.simple_page(f"Annotate {p}", body))
+        if path == "/annotate" and method == "POST":
+            p = request.param("path")
+            client.add_annotation(p, request.param("ann_type", "comment"),
+                                  request.param("text"),
+                                  location=request.param("location") or None)
+            return Response.redirect(f"/open?path={views.H.url_quote(p)}")
+        if path == "/query" and method == "GET":
+            scope = request.param("scope", f"/{self.federation.zone}")
+            return Response(views.query_form(client, scope))
+        if path == "/query" and method == "POST":
+            return self._do_query(client, request)
+        if path == "/register" and method == "GET":
+            return Response(views.register_form(
+                client, request.param("coll"),
+                resources=self._resource_names()))
+        if path.startswith("/register/") and method == "POST":
+            return self._do_register(client, request,
+                                     path[len("/register/"):])
+        if path == "/edit" and method == "GET":
+            return self._edit_form(client, request)
+        if path == "/edit" and method == "POST":
+            p = request.param("path")
+            client.put(p, request.param("content").encode())
+            return Response.redirect(f"/open?path={views.H.url_quote(p)}")
+        if path == "/op":
+            return self._do_op(client, request)
+        raise NoSuchObject(f"no such page {path!r}")
+
+    # -- handlers -------------------------------------------------------------
+
+    def _do_newuser(self, request: Request) -> Response:
+        """User registration, restricted to sysadmins."""
+        from repro.auth.users import ROLES
+        client = self._client(request)
+        principal = client.username
+        users = self.federation.users
+        if not (client.ticket is not None and principal is not None
+                and users.exists(principal)
+                and users.role_of(principal) == "sysadmin"):
+            raise AccessDenied(principal or "public", "register", "users")
+        if request.method == "GET":
+            return Response(views.newuser_form(client, ROLES))
+        username = request.param("username")
+        password = request.param("password")
+        role = request.param("role", "reader")
+        self.federation.add_user(username, password, role=role)
+        return Response.redirect(f"/browse?path=/{self.federation.zone}")
+
+    def _do_login(self, request: Request) -> Response:
+        username = request.param("username")
+        password = request.param("password")
+        client = SrbClient(self.federation, self.www_host, self.server_name,
+                           username=username, password=password)
+        try:
+            ticket = client.login()
+        except (BadCredentials, AuthError) as exc:
+            return Response(views.login_form(f"sign-on failed: {exc}"),
+                            status="401 Unauthorized")
+        from repro.auth.users import Principal
+        session = self.sessions.open(Principal.parse(username), ticket=ticket)
+        resp = Response.redirect(f"/browse?path=/{self.federation.zone}")
+        resp.set_cookie(COOKIE_NAME, session.key)
+        return resp
+
+    def _resource_names(self) -> List[str]:
+        return (self.federation.resources.logical_names()
+                + self.federation.resources.physical_names())
+
+    def _container_paths(self, client: SrbClient, coll: str) -> List[str]:
+        if not coll:
+            return []
+        try:
+            listing = client.ls(coll)
+        except SrbError:
+            return []
+        return [o["path"] for o in listing["objects"]
+                if o["kind"] == "container"]
+
+    def _do_ingest(self, client: SrbClient, request: Request) -> Response:
+        coll = request.param("coll")
+        name = request.param("name")
+        target = paths.join(coll, name)
+        metadata: Dict[str, str] = {}
+        user_triples: List[Tuple[str, str, Optional[str]]] = []
+        dc_triples: List[Tuple[str, str]] = []
+        for key, value in request.form.items():
+            if not value:
+                continue
+            if key.startswith("meta:"):
+                metadata[key[len("meta:"):]] = value
+            elif key.startswith("dc:"):
+                dc_triples.append((key[len("dc:"):], value))
+        for i in range(1, 10):
+            uname = request.form.get(f"uname{i}")
+            if uname and request.form.get(f"uvalue{i}"):
+                user_triples.append((uname, request.form[f"uvalue{i}"],
+                                     request.form.get(f"uunits{i}") or None))
+        container = request.param("container")
+        client.ingest(target, request.param("content").encode(),
+                      resource=request.param("resource") or None,
+                      container=None if container in ("", "(none)") else container,
+                      data_type=request.param("data_type") or None,
+                      metadata=metadata)
+        for attr, value in dc_triples:
+            client.add_metadata(target, attr, value, meta_class="type",
+                                schema_name="dublin-core")
+        for attr, value, units in user_triples:
+            client.add_metadata(target, attr, value, units=units)
+        return Response.redirect(f"/open?path={views.H.url_quote(target)}")
+
+    def _do_metadata(self, client: SrbClient, request: Request) -> Response:
+        p = request.param("path")
+        if request.param("copy_from"):
+            client.copy_metadata(request.param("copy_from"), p)
+        elif request.param("extract_method"):
+            client.extract_metadata(p, request.param("extract_method"),
+                                    sidecar=request.param("sidecar") or None)
+        elif request.param("attr"):
+            client.add_metadata(p, request.param("attr"),
+                                request.param("value") or None,
+                                units=request.param("units") or None)
+        return Response.redirect(f"/metadata?path={views.H.url_quote(p)}")
+
+    def _do_query(self, client: SrbClient, request: Request) -> Response:
+        scope = request.param("scope")
+        conditions: List[Condition | DisplayOnly] = []
+        for i in range(1, 10):
+            attr = request.form.get(f"attr{i}", "")
+            if not attr:
+                continue
+            value = request.form.get(f"value{i}", "")
+            show = bool(request.form.get(f"show{i}"))
+            if value:
+                conditions.append(Condition(
+                    attr=attr, op=request.form.get(f"op{i}", "="),
+                    value=value, display=show))
+            elif show:
+                conditions.append(DisplayOnly(attr=attr))
+        return Response(views.query_results(
+            client, scope, conditions,
+            include_annotations=bool(request.form.get("annotations")),
+            include_system=bool(request.form.get("system"))))
+
+    def _do_register(self, client: SrbClient, request: Request,
+                     kind: str) -> Response:
+        coll = request.param("coll")
+        target = paths.join(coll, request.param("name"))
+        if kind == "file":
+            client.register_file(target, request.param("resource"),
+                                 request.param("physical_path"))
+        elif kind == "directory":
+            client.register_directory(target, request.param("resource"),
+                                      request.param("physical_dir"))
+        elif kind == "sql":
+            client.register_sql(target, request.param("resource"),
+                                request.param("sql"),
+                                template=request.param("template", "HTMLREL"),
+                                partial=bool(request.form.get("partial")))
+        elif kind == "url":
+            client.register_url(target, request.param("url"))
+        elif kind == "method":
+            client.register_method(
+                target, request.param("server"), request.param("command"),
+                proxy_function=bool(request.form.get("proxy_function")))
+        else:
+            raise NoSuchObject(f"unknown registration kind {kind!r}")
+        return Response.redirect(f"/browse?path={views.H.url_quote(coll)}")
+
+    def _edit_form(self, client: SrbClient, request: Request) -> Response:
+        """"edit a file, if it is a small ASCII file"."""
+        from repro.mysrb import html as H
+        p = request.param("path")
+        info = client.stat(p)
+        if info.get("data_type") not in ("ascii text", None):
+            raise SrbError(f"the edit facility is allowed only for a few "
+                           f"data types, not {info.get('data_type')!r}")
+        data = client.get(p)
+        body = H.form("/edit", H.hidden_field("path", p)
+                      + H.textarea("content", "Contents",
+                                   value=data.decode("utf-8", "replace"),
+                                   rows=20),
+                      submit="Save")
+        return Response(H.simple_page(f"Edit {p}", body))
+
+    def _do_op(self, client: SrbClient, request: Request) -> Response:
+        """Data-movement operations dispatched from the listing links."""
+        from repro.mysrb import html as H
+        action = request.param("action")
+        p = request.param("path")
+        if request.method == "GET" and action in ("replicate", "copy",
+                                                  "move", "link"):
+            extra = {
+                "replicate": H.select_field("resource", "Target resource",
+                                            self._resource_names()),
+                "copy": H.text_field("dst", "Destination path"),
+                "move": H.text_field("dst", "Destination path"),
+                "link": H.text_field("dst", "Link path"),
+            }[action]
+            body = H.form("/op", H.hidden_field("action", action)
+                          + H.hidden_field("path", p) + extra,
+                          submit=action)
+            return Response(H.simple_page(f"{action} {p}", body))
+        if action == "replicate":
+            client.replicate(p, request.param("resource"))
+        elif action == "copy":
+            client.copy(p, request.param("dst"))
+        elif action == "move":
+            client.move(p, request.param("dst"))
+            p = request.param("dst")
+        elif action == "link":
+            client.link(p, request.param("dst"))
+        elif action == "delete":
+            parent = paths.dirname(p)
+            try:
+                client.delete(p)
+            except NoSuchObject:
+                client.rmcoll(p)
+            return Response.redirect(
+                f"/browse?path={views.H.url_quote(parent)}")
+        elif action == "lock":
+            client.lock(p)
+        elif action == "unlock":
+            client.unlock(p)
+        elif action == "checkout":
+            client.checkout(p)
+        elif action == "checkin":
+            client.checkin(p)
+        else:
+            raise SrbError(f"unknown operation {action!r}")
+        return Response.redirect(f"/open?path={views.H.url_quote(p)}")

@@ -1,0 +1,94 @@
+"""WSGI test client for MySRB.
+
+Drives the app the way a browser would: builds environs, carries the
+session cookie across requests, follows redirects.  Used by the MySRB
+tests and by the figure-reproduction benchmarks (which save the rendered
+HTML of Figures 1 and 2 to disk).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlencode, urlsplit
+
+from repro.mysrb.app import COOKIE_NAME, MySrbApp
+
+
+@dataclass
+class WsgiResponse:
+    status: str
+    headers: List[Tuple[str, str]]
+    body: bytes
+
+    @property
+    def code(self) -> int:
+        return int(self.status.split()[0])
+
+    @property
+    def text(self) -> str:
+        return self.body.decode("utf-8")
+
+    def header(self, name: str) -> Optional[str]:
+        for key, value in self.headers:
+            if key.lower() == name.lower():
+                return value
+        return None
+
+
+class Browser:
+    """A stateful fake browser for one MySRB app."""
+
+    def __init__(self, app: MySrbApp, https: bool = True):
+        self.app = app
+        self.https = https
+        self.cookie: Optional[str] = None
+
+    # -- low level --------------------------------------------------------------
+
+    def request(self, method: str, url: str,
+                form: Optional[Dict[str, str]] = None,
+                follow_redirects: bool = True) -> WsgiResponse:
+        parts = urlsplit(url)
+        body = urlencode(form or {}).encode() if form is not None else b""
+        environ = {
+            "REQUEST_METHOD": method,
+            "PATH_INFO": parts.path,
+            "QUERY_STRING": parts.query,
+            "wsgi.url_scheme": "https" if self.https else "http",
+            "wsgi.input": io.BytesIO(body),
+            "CONTENT_LENGTH": str(len(body)),
+        }
+        if self.cookie:
+            environ["HTTP_COOKIE"] = f"{COOKIE_NAME}={self.cookie}"
+        captured: Dict[str, object] = {}
+
+        def start_response(status: str, headers: List[Tuple[str, str]]):
+            captured["status"] = status
+            captured["headers"] = headers
+
+        chunks = self.app(environ, start_response)
+        response = WsgiResponse(status=str(captured["status"]),
+                                headers=list(captured["headers"]),  # type: ignore
+                                body=b"".join(chunks))
+        set_cookie = response.header("Set-Cookie")
+        if set_cookie and set_cookie.startswith(COOKIE_NAME + "="):
+            self.cookie = set_cookie.split(";", 1)[0].split("=", 1)[1]
+        if follow_redirects and response.code in (301, 302, 303, 307):
+            location = response.header("Location")
+            if location:
+                return self.request("GET", location)
+        return response
+
+    # -- conveniences -------------------------------------------------------------
+
+    def get(self, url: str, **kwargs) -> WsgiResponse:
+        return self.request("GET", url, **kwargs)
+
+    def post(self, url: str, form: Dict[str, str], **kwargs) -> WsgiResponse:
+        return self.request("POST", url, form=form, **kwargs)
+
+    def login(self, username: str, password: str) -> WsgiResponse:
+        return self.post("/login", {"username": username,
+                                    "password": password})

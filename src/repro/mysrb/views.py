@@ -1,0 +1,483 @@
+"""MySRB page renderers.
+
+Each view builds one page of the web interface from live calls into the
+SRB (through a real :class:`~repro.core.client.SrbClient`, so every page
+load pays catalog and network costs like the real CGI did).
+
+The two figures of the paper map to:
+
+* :func:`browse` — Figure 1, "SRB Main page showing the Collections with
+  different objects and Operations";
+* :func:`ingest_form` — Figure 2, "File Ingestion Page with Metadata for
+  Dublin Core Attributes and other user-defined attributes".
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.client import SrbClient
+from repro.errors import SrbError
+from repro.mcat.dublin_core import DUBLIN_CORE_ELEMENTS
+from repro.mcat.query import Condition, DisplayOnly, OPERATORS
+from repro.mysrb import html as H
+from repro.util import paths
+
+_INLINEABLE_TYPES = ("ascii text", "html", "sql query", "url", "method",
+                     "container", None)
+_EDITABLE_TYPES = ("ascii text",)          # "the edit facility is allowed
+                                           # only for a few data types"
+_INLINE_LIMIT = 64 * 1024
+
+
+def _object_operations(path: str, kind: str) -> H.RawHtml:
+    """The per-object operation links of the Figure 1 listing."""
+    q = H.url_quote(path)
+    ops = [("open", f"/open?path={q}")]
+    ops.append(("metadata", f"/metadata?path={q}"))
+    ops.append(("annotate", f"/annotate?path={q}"))
+    if kind in ("data", "registered"):
+        ops.append(("replicate", f"/op?action=replicate&path={q}"))
+    if kind == "data" and kind not in ("shadow-dir",):
+        ops.append(("edit", f"/edit?path={q}"))
+    ops.append(("copy", f"/op?action=copy&path={q}"))
+    ops.append(("move", f"/op?action=move&path={q}"))
+    ops.append(("link", f"/op?action=link&path={q}"))
+    ops.append(("lock", f"/op?action=lock&path={q}"))
+    ops.append(("delete", f"/op?action=delete&path={q}"))
+    return H.RawHtml(" ".join(
+        f'<a class="op" href="{H.e(href)}">{H.e(label)}</a>'
+        for label, href in ops))
+
+
+def browse(client: SrbClient, path: str) -> str:
+    """Figure 1: the split-window collection view.
+
+    Top pane: collection metadata.  Bottom pane: sub-collections and
+    objects with per-object operations.
+    """
+    listing = client.ls(path)
+    try:
+        md = client.get_metadata(path)
+        anns = client.annotations(path)
+    except SrbError:
+        md, anns = [], []
+    top = H.metadata_pane(f"Collection {path}", md, anns)
+
+    rows: List[Sequence[object]] = []
+    for coll in listing["collections"]:
+        q = H.url_quote(coll)
+        rows.append((
+            H.link_to(f"/browse?path={q}", paths.basename(coll) + "/"),
+            "collection", "", "",
+            H.RawHtml(f'<a class="op" href="/metadata?path={q}">metadata</a> '
+                      f'<a class="op" href="/op?action=delete&path={q}">delete</a>'),
+        ))
+    for obj in listing["objects"]:
+        rows.append((
+            H.link_to(f"/open?path={H.url_quote(obj['path'])}", obj["name"]),
+            obj["kind"], obj["data_type"] or "", obj["size"] or "",
+            _object_operations(obj["path"], obj["kind"]),
+        ))
+    bottom = "<h3>Contents</h3>" + (
+        H.table(["name", "kind", "data type", "size", "operations"], rows)
+        if rows else "<p><i>empty collection</i></p>")
+    bottom += (
+        f'<p><a href="/ingest?coll={H.url_quote(path)}">Ingest a file</a> | '
+        f'<a href="/mkcoll?coll={H.url_quote(path)}">New sub-collection</a> | '
+        f'<a href="/register?coll={H.url_quote(path)}">Register object</a> | '
+        f'<a href="/query?scope={H.url_quote(path)}">'
+        f'<img alt="mySRB query" src="/static/query.gif" style="height:1em">'
+        f'Query</a></p>')
+    nav = H.nav_bar(client.username if client.ticket else None, path)
+    return H.page(f"Collection {path}", top, bottom, nav=nav)
+
+
+def _render_metadata_extras(client: SrbClient, md) -> str:
+    """The paper's "creative" metadata modes, rendered below the triples.
+
+    * a URL value whose units are ``inline`` is fetched and its contents
+      shown ("if the URL is designated as being of 'inlineable' type then
+      the mySRB shows the contents of the URL");
+    * a value that is an SRB path becomes a clickable hot-link, and if
+      designated ``inline`` its contents are embedded (thumbnails);
+    * ``file-based`` metadata rows point at a metadata-carrying file in
+      SRB whose triplets are shown (viewing only — not queryable).
+    """
+    parts = []
+    for row in md:
+        value = row.get("value")
+        if not isinstance(value, str):
+            continue
+        inline = row.get("units") == "inline"
+        if value.startswith(("http://", "https://", "ftp://")):
+            if inline:
+                try:
+                    content = client.federation.web.fetch(
+                        value, client.client_host).decode("utf-8", "replace")
+                except SrbError as exc:
+                    content = f"[unavailable: {exc}]"
+                parts.append(f"<div class='inline-url'><b>{H.e(row['attr'])}"
+                             f"</b> ({H.e(value)}):<br>{content}</div>")
+            else:
+                parts.append(f"<p>{H.e(row['attr'])}: "
+                             f"<a href='{H.e(value)}'>{H.e(value)}</a></p>")
+        elif value.startswith("/"):
+            link = (f"<a href='/open?path={H.url_quote(value)}'>"
+                    f"{H.e(value)}</a>")
+            if row.get("meta_class") == "file-based":
+                try:
+                    triples = client.get(value).decode("utf-8", "replace")
+                except SrbError as exc:
+                    triples = f"[unavailable: {exc}]"
+                parts.append(f"<div class='filemeta'><b>metadata file</b> "
+                             f"{link}:<br><pre>{H.e(triples)}</pre></div>")
+            elif inline:
+                try:
+                    body = client.get(value)
+                    shown = body.decode("utf-8", "replace") \
+                        if len(body) <= _INLINE_LIMIT else \
+                        f"[{len(body)} bytes]"
+                except SrbError as exc:
+                    shown = f"[unavailable: {exc}]"
+                parts.append(f"<div class='inline-obj'><b>"
+                             f"{H.e(row['attr'])}</b> {link}:<br>"
+                             f"<pre>{H.e(shown)}</pre></div>")
+            else:
+                parts.append(f"<p>related: {link}</p>")
+    return "".join(parts)
+
+
+def open_object(client: SrbClient, path: str) -> str:
+    """The split-window object view: attributes on top, contents below.
+
+    "when a user 'opens' a file, the attributes about the file are
+    displayed along with the contents of the file."
+    """
+    info = client.stat(path)
+    md = client.get_metadata(path)
+    anns = client.annotations(path)
+    top = H.metadata_pane(f"{info['kind']} {path}", md, anns)
+    top += _render_metadata_extras(client, md)
+    top += H.table(
+        ["replica", "resource", "physical path", "size", "dirty"],
+        [(r["replica_num"], r["resource"], r["physical_path"], r["size"],
+          "yes" if r["is_dirty"] else "no") for r in info["replicas"]])
+
+    data_type = info.get("data_type")
+    if info["kind"] == "container":
+        fed = client.federation
+        members = fed.containers.members(int(info["oid"]))
+        rows = []
+        for m in members:
+            mobj = fed.mcat.get_object_by_id(int(m["oid"]))
+            rows.append((H.link_to(f"/open?path={H.url_quote(mobj['path'])}",
+                                   mobj["name"]),
+                         m["offset"], m["size"]))
+        garbage = fed.containers.garbage_bytes(int(info["oid"]))
+        bottom = (f"<h4>Container members ({len(rows)})</h4>"
+                  + (H.table(["member", "offset", "size"], rows)
+                     if rows else "<p><i>empty container</i></p>")
+                  + f"<p>{info['size'] or 0} bytes total, "
+                  + f"{garbage} bytes reclaimable "
+                  + "(compact via the Scommands or the client API).</p>")
+    elif info["kind"] == "shadow-dir":
+        bottom = (f"<p>registered directory over "
+                  f"<code>{H.e(info['target'])}</code> on "
+                  f"<code>{H.e(info['resource_hint'])}</code>; browse "
+                  f"<a href='/browse?path={H.url_quote(path)}'>its cone</a>.</p>")
+    else:
+        try:
+            data = client.get(path)
+        except SrbError as exc:
+            data = f"[not retrievable: {exc}]".encode()
+        if len(data) > _INLINE_LIMIT:
+            bottom = f"<p>[{len(data)} bytes; too large to display inline]</p>"
+        elif data_type in ("html", "sql query", "url") or \
+                data.lstrip()[:1] in (b"<",):
+            bottom = data.decode("utf-8", "replace")     # inlineable content
+        else:
+            bottom = f"<pre>{H.e(data.decode('utf-8', 'replace'))}</pre>"
+    nav = H.nav_bar(client.username if client.ticket else None,
+                    paths.dirname(path))
+    return H.page(f"Object {path}", top, bottom, nav=nav)
+
+
+def ingest_form(client: SrbClient, coll: str,
+                resources: Sequence[str],
+                containers: Sequence[str] = ()) -> str:
+    """Figure 2: the ingestion form.
+
+    Shows: file chooser (modelled as a content box), data type, resource
+    *or* container choice, structural metadata required/suggested by the
+    collection (with defaults and drop-down vocabularies), the Dublin
+    Core entry block, and free user-defined attribute rows.
+    """
+    structural = client.structural_metadata(coll)
+    fields = [H.hidden_field("coll", coll)]
+    fields.append(H.text_field("name", "File name"))
+    fields.append(H.textarea("content", "File contents (file-browse upload)"))
+    fields.append(H.text_field("data_type", "Data type", value="ascii text"))
+    fields.append(H.select_field("resource", "Logical resource",
+                                 list(resources)))
+    fields.append(H.select_field("container", "Container (overrides resource)",
+                                 ["(none)"] + list(containers)))
+
+    if structural:
+        fields.append("<h4>Collection metadata (required by the curator)</h4>")
+        for req in structural:
+            label = req["attr"] + (" *" if req["mandatory"] else "")
+            if req["vocabulary"]:
+                fields.append(H.select_field(
+                    f"meta:{req['attr']}", label,
+                    req["vocabulary"].split("|"),
+                    selected=req["default_value"]))
+            else:
+                fields.append(H.text_field(f"meta:{req['attr']}", label,
+                                           value=req["default_value"] or ""))
+            if req["comment"]:
+                fields.append(f"<p><i>{H.e(req['comment'])}</i></p>")
+
+    fields.append("<h4>Dublin Core attributes</h4>")
+    for el in DUBLIN_CORE_ELEMENTS:
+        fields.append(H.text_field(f"dc:{el}", el))
+
+    fields.append("<h4>User-defined attributes</h4>")
+    for i in range(1, 4):
+        fields.append(
+            f'<p>name <input type="text" name="uname{i}" size="15"> '
+            f'value <input type="text" name="uvalue{i}" size="20"> '
+            f'units <input type="text" name="uunits{i}" size="8"></p>')
+
+    top = (f"<h3>Ingest into {H.e(coll)}</h3>"
+           "<p>Files from Unix, Windows and Macintosh can be ingested; "
+           "at this stage, only single file ingestion is supported.</p>")
+    bottom = H.form("/ingest", "".join(fields), submit="Ingest")
+    nav = H.nav_bar(client.username if client.ticket else None, coll)
+    return H.page(f"Ingest into {coll}", top, bottom, nav=nav)
+
+
+def metadata_form(client: SrbClient, path: str) -> str:
+    """The insert-metadata form ("this operation can be performed as many
+    times as required ... no limits")."""
+    md = client.get_metadata(path)
+    top = H.metadata_pane(f"Metadata of {path}", md)
+    fields = [H.hidden_field("path", path)]
+    fields.append(H.text_field("attr", "Attribute name"))
+    fields.append(H.text_field("value", "Value"))
+    fields.append(H.text_field("units", "Units"))
+    fields.append(H.text_field("copy_from", "...or copy all metadata from "
+                                            "SRB object"))
+    fields.append(H.text_field("extract_method", "...or extract with method"))
+    fields.append(H.text_field("sidecar", "sidecar object (for extraction)"))
+    bottom = H.form("/metadata", "".join(fields), submit="Insert metadata")
+    nav = H.nav_bar(client.username if client.ticket else None,
+                    paths.dirname(path))
+    return H.page(f"Metadata {path}", top, bottom, nav=nav)
+
+
+def query_form(client: SrbClient, scope: str, n_conditions: int = 4) -> str:
+    """The query page: drop-down of queryable attribute names, operator
+    menu, value box, display checkbox — one row per condition."""
+    attrs = client.queryable_attrs(scope, include_system=True)
+    rows = []
+    for i in range(1, n_conditions + 1):
+        opts = "".join(f"<option>{H.e(a)}</option>" for a in [""] + attrs)
+        ops = "".join(f"<option>{H.e(o)}</option>" for o in OPERATORS)
+        rows.append(
+            f"<tr><td><select name='attr{i}'>{opts}</select></td>"
+            f"<td><select name='op{i}'>{ops}</select></td>"
+            f"<td><input type='text' name='value{i}'></td>"
+            f"<td><input type='checkbox' name='show{i}' value='1' checked>"
+            f"</td></tr>")
+    fields = (H.hidden_field("scope", scope) +
+              "<table class='listing'><tr><th>metadata name</th>"
+              "<th>comparison</th><th>value</th><th>display</th></tr>"
+              + "".join(rows) + "</table>"
+              + "<p>" + H.checkbox("annotations", "also query annotations")
+              + " " + H.checkbox("system", "include system metadata", True)
+              + "</p>")
+    top = (f"<h3>Query collection {H.e(scope)}</h3>"
+           "<p>The query is taken as a conjunctive (AND) query across the "
+           "collection hierarchy under this collection.</p>")
+    bottom = H.form("/query", fields, submit="Search")
+    nav = H.nav_bar(client.username if client.ticket else None, scope)
+    return H.page(f"Query {scope}", top, bottom, nav=nav)
+
+
+def query_results(client: SrbClient, scope: str,
+                  conditions: Sequence[Condition | DisplayOnly],
+                  include_annotations: bool,
+                  include_system: bool) -> str:
+    """Render the hits of a submitted query as a linked listing."""
+    result = client.query(scope, conditions,
+                          include_annotations=include_annotations,
+                          include_system=include_system)
+    rows = []
+    for row in result.rows:
+        cells: List[object] = [
+            H.link_to(f"/open?path={H.url_quote(str(row[0]))}", str(row[0]))]
+        cells.extend(row[1:])
+        rows.append(cells)
+    top = (f"<h3>Query results in {H.e(scope)}</h3>"
+           f"<p>{len(result.rows)} matching SRB objects.</p>")
+    bottom = H.table(result.columns, rows) if rows else "<p><i>no matches</i></p>"
+    nav = H.nav_bar(client.username if client.ticket else None, scope)
+    return H.page("Query results", top, bottom, nav=nav)
+
+
+def register_form(client: SrbClient, coll: str,
+                  resources: Sequence[str]) -> str:
+    """Registration of the five pointer kinds (file / directory / SQL /
+    URL / method)."""
+    common = H.hidden_field("coll", coll)
+    file_f = H.form("/register/file", common
+                    + H.text_field("name", "SRB name")
+                    + H.select_field("resource", "Physical resource", resources)
+                    + H.text_field("physical_path", "Path in resource"),
+                    submit="Register file")
+    dir_f = H.form("/register/directory", common
+                   + H.text_field("name", "SRB name")
+                   + H.select_field("resource", "Physical resource", resources)
+                   + H.text_field("physical_dir", "Directory path"),
+                   submit="Register directory")
+    sql_f = H.form("/register/sql", common
+                   + H.text_field("name", "SRB name")
+                   + H.select_field("resource", "Database resource", resources)
+                   + H.textarea("sql", "SELECT query (may be partial)")
+                   + H.select_field("template", "Pretty-print template",
+                                    ["HTMLREL", "HTMLNEST", "XMLREL"])
+                   + "<p>" + H.checkbox("partial", "partial query") + "</p>",
+                   submit="Register SQL")
+    url_f = H.form("/register/url", common
+                   + H.text_field("name", "SRB name")
+                   + H.text_field("url", "URL (http/https/ftp)"),
+                   submit="Register URL")
+    method_f = H.form("/register/method", common
+                      + H.text_field("name", "SRB name")
+                      + H.text_field("server", "SRB server")
+                      + H.text_field("command", "Command in server bin")
+                      + "<p>" + H.checkbox("proxy_function",
+                                           "compiled proxy function") + "</p>",
+                      submit="Register method")
+    top = (f"<h3>Register an object into {H.e(coll)}</h3>"
+           "<p>No physical copy is maintained by SRB for registered "
+           "objects; only a pointer is kept.</p>")
+    bottom = ("<h4>File</h4>" + file_f + "<h4>Directory</h4>" + dir_f +
+              "<h4>SQL query</h4>" + sql_f + "<h4>URL</h4>" + url_f +
+              "<h4>Method / virtual data</h4>" + method_f)
+    nav = H.nav_bar(client.username if client.ticket else None, coll)
+    return H.page(f"Register into {coll}", top, bottom, nav=nav)
+
+
+def structural_form(client: SrbClient, coll: str) -> str:
+    """The curator's form for declaring required/suggested ingest metadata
+    (defaults, restricted vocabularies, mandatory flags, comments)."""
+    existing = client.structural_metadata(coll)
+    top = (f"<h3>Structural metadata for {H.e(coll)}</h3>"
+           "<p>These attributes are required or suggested when new items "
+           "are added to the collection (and to every collection in the "
+           "hierarchy under it).</p>")
+    if existing:
+        top += H.table(
+            ["attribute", "default", "vocabulary", "mandatory", "comment"],
+            [(r["attr"], r["default_value"], r["vocabulary"],
+              "yes" if r["mandatory"] else "", r["comment"])
+             for r in existing])
+    fields = (H.hidden_field("coll", coll)
+              + H.text_field("attr", "Attribute name")
+              + H.text_field("default_value", "Default value")
+              + H.text_field("vocabulary",
+                             "Restricted vocabulary ('|'-separated)")
+              + "<p>" + H.checkbox("mandatory", "mandatory at ingest")
+              + "</p>" + H.text_field("comment", "Comment for ingestors"))
+    bottom = H.form("/structural", fields, submit="Define attribute")
+    nav = H.nav_bar(client.username if client.ticket else None, coll)
+    return H.page(f"Structural metadata {coll}", top, bottom, nav=nav)
+
+
+def resources_page(client: SrbClient) -> str:
+    """Resource metadata ("the MySRB interface provides additional
+    functionalities such as ... access to resource, user and container
+    metadata")."""
+    fed = client.federation
+    phys_rows = []
+    for name in fed.resources.physical_names():
+        d = fed.resources.describe(name)
+        phys_rows.append((d["name"], d["type"], d["host"], d["zone"],
+                          "up" if d["up"] else "DOWN"))
+    logical_rows = []
+    for name in fed.resources.logical_names():
+        d = fed.resources.describe(name)
+        logical_rows.append((d["name"], ", ".join(d["members"])))
+    top = ("<h3>Storage resources</h3>"
+           "<p>Physical resources are single storage systems; logical "
+           "resources tie several together and replicate synchronously "
+           "on ingest.</p>")
+    bottom = ("<h4>Physical</h4>"
+              + H.table(["name", "type", "host", "zone", "state"], phys_rows)
+              + "<h4>Logical</h4>"
+              + (H.table(["name", "members"], logical_rows)
+                 if logical_rows else "<p><i>none</i></p>"))
+    nav = H.nav_bar(client.username if client.ticket else None,
+                    f"/{fed.zone}")
+    return H.page("Resources", top, bottom, nav=nav)
+
+
+def newuser_form(client: SrbClient, roles) -> str:
+    """User registration ("the MySRB interface provides additional
+    functionalities such as user registration") — sysadmin only."""
+    fields = (H.text_field("username", "New user (name@domain)")
+              + '<p><label>Password: <input type="password" name="password">'
+                "</label></p>"
+              + H.select_field("role", "Role", list(roles),
+                               selected="reader"))
+    top = ("<h3>Register a new SRB user</h3>"
+           "<p>The role sets the default position in the access matrix "
+           "from curator to public.</p>")
+    bottom = H.form("/newuser", fields, submit="Register user")
+    nav = H.nav_bar(client.username if client.ticket else None,
+                    f"/{client.federation.zone}")
+    return H.page("New user", top, bottom, nav=nav)
+
+
+def login_form(message: str = "") -> str:
+    """The sign-on page, optionally showing a failure message."""
+    body = ""
+    if message:
+        body += f"<p style='color:red'>{H.e(message)}</p>"
+    body += H.form("/login",
+                   H.text_field("username", "User (name@domain)")
+                   + '<p><label>Password: <input type="password" '
+                     'name="password"></label></p>',
+                   submit="Sign on")
+    return H.simple_page("Sign on",
+                         "<h2>mySRB - sign on</h2>"
+                         "<p>Sessions use https with a unique session key "
+                         "(60-minute limit).</p>" + body)
+
+
+def error_page(status: str, message: str) -> str:
+    """A minimal error page with a link back to the collections."""
+    return H.simple_page(status, f"<h2>{H.e(status)}</h2>"
+                                 f"<p>{H.e(message)}</p>"
+                                 '<p><a href="/browse">back to collections'
+                                 "</a></p>")
+
+
+def help_page() -> str:
+    """The on-line help the paper lists among MySRB's functionalities."""
+    return H.simple_page("Help", """
+<h2>mySRB on-line help</h2>
+<ul>
+<li><b>Collections</b>: browse the hierarchy; each entry lists per-object
+operations (open, replicate, copy, move, link, lock, delete).</li>
+<li><b>Ingest</b>: upload a file into a chosen logical resource or
+container; the collection's curator may require metadata.</li>
+<li><b>Register</b>: point SRB at files, directories, SQL queries, URLs
+and methods that stay where they are.</li>
+<li><b>Query</b>: conjunctive attribute search over the collection
+hierarchy beneath the current collection.</li>
+<li><b>Metadata</b>: insert triples by form, copy from another object, or
+extract with a data-type method.</li>
+</ul>""")

@@ -1,0 +1,20 @@
+"""Simulated wide-area network and RPC substrate."""
+
+from repro.net.simnet import (
+    CAMPUS,
+    LAN,
+    LOOPBACK,
+    TRANSCON,
+    WAN,
+    Host,
+    LinkSpec,
+    Network,
+)
+from repro.net.rpc import RpcStats, ServiceRegistry
+from repro.net.wire import message_size, sizeof
+
+__all__ = [
+    "Network", "Host", "LinkSpec", "ServiceRegistry", "RpcStats",
+    "message_size", "sizeof",
+    "LAN", "CAMPUS", "WAN", "TRANSCON", "LOOPBACK",
+]

@@ -1,0 +1,115 @@
+"""Message-passing RPC over the simulated network.
+
+SRB servers and clients communicate with request/response messages.  This
+layer gives each host a set of named *services* (an SRB server registers
+itself as service ``"srb"``); a caller invokes ``rpc.call(src, dst,
+service, method, **kwargs)`` which charges the request bytes, runs the
+handler, charges the response bytes, and either returns the handler's
+result or re-raises its exception on the caller side — the same model as
+mpi4py's pickle-based send/recv, specialized to request/response.
+
+Exceptions deriving from :class:`~repro.errors.SrbError` cross the wire
+transparently (the remote failure surfaces at the caller, as a real RPC
+stack would marshal them); anything else is wrapped in ``RpcError`` since
+a production system would not leak arbitrary remote tracebacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict
+
+from repro.errors import RpcError, SrbError
+from repro.net.simnet import Network
+from repro.net.wire import message_size
+
+
+@dataclass
+class RpcStats:
+    """Counters a benchmark can read to explain a result."""
+
+    calls: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+    failures: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "calls": self.calls,
+            "request_bytes": self.request_bytes,
+            "response_bytes": self.response_bytes,
+            "failures": self.failures,
+        }
+
+
+class ServiceRegistry:
+    """Per-network registry mapping (host, service) -> handler object.
+
+    A handler object exposes methods; ``call`` dispatches by method name.
+    Handlers run "on" the destination host: any storage/db time they charge
+    is added to the same global clock after the request transfer.
+    """
+
+    def __init__(self, network: Network):
+        self.network = network
+        self._services: Dict[tuple, Any] = {}
+        self.stats = RpcStats()
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, host: str, service: str, handler: Any) -> None:
+        self.network.host(host)  # validate host exists
+        key = (host, service)
+        if key in self._services:
+            raise RpcError(f"service {service!r} already registered on {host!r}")
+        self._services[key] = handler
+
+    def deregister(self, host: str, service: str) -> None:
+        self._services.pop((host, service), None)
+
+    def lookup(self, host: str, service: str) -> Any:
+        try:
+            return self._services[(host, service)]
+        except KeyError:
+            raise RpcError(f"no service {service!r} on host {host!r}") from None
+
+    # -- invocation ------------------------------------------------------------
+
+    def call(self, src: str, dst: str, service: str, method: str,
+             /, **kwargs: Any) -> Any:
+        """Invoke ``method`` of ``service`` on host ``dst`` from host ``src``.
+
+        Charges request and response transfers on the shared clock.  The
+        response size is measured from the actual return value, so calls
+        returning file contents cost bandwidth proportional to the data.
+        """
+        handler = self.lookup(dst, service)
+        fn: Callable = getattr(handler, method, None)
+        if fn is None or method.startswith("_"):
+            raise RpcError(f"service {service!r} has no method {method!r}")
+
+        req_bytes = message_size({"method": method, "kwargs": kwargs})
+        self.network.transfer(src, dst, req_bytes)
+        self.stats.calls += 1
+        self.stats.request_bytes += req_bytes
+
+        try:
+            result = fn(**kwargs)
+        except SrbError:
+            # error response: small fixed-size message back to the caller
+            self.stats.failures += 1
+            err_bytes = message_size({"error": True})
+            self.network.transfer(dst, src, err_bytes)
+            self.stats.response_bytes += err_bytes
+            raise
+        except Exception as exc:  # non-SRB bug: wrap, don't leak
+            self.stats.failures += 1
+            err_bytes = message_size({"error": True})
+            self.network.transfer(dst, src, err_bytes)
+            self.stats.response_bytes += err_bytes
+            raise RpcError(f"remote {service}.{method} failed: {exc!r}") from exc
+
+        resp_bytes = message_size(result)
+        self.network.transfer(dst, src, resp_bytes)
+        self.stats.response_bytes += resp_bytes
+        return result

@@ -1,0 +1,218 @@
+"""Simulated wide-area network.
+
+The paper's SRB deployments span hosts at SDSC, CalTech and elsewhere;
+its latency-sensitive claims (containers amortize per-file WAN round
+trips, federation redirects cost one extra server hop) are about message
+counts and bytes moved over links with given latency and bandwidth.  This
+module provides exactly that: named :class:`Host` objects joined by
+:class:`LinkSpec` parameters, with every transfer charged to a shared
+:class:`~repro.util.clock.SimClock`.
+
+Failures are first-class: hosts can be taken down (``network.set_down``)
+and pairs partitioned, which is how the replica-failover experiments (E2)
+kill a storage system.
+
+Two transfer modes exist:
+
+``transfer``
+    Blocking: advances the global clock by ``latency + bytes/bandwidth``.
+    Used on every ordinary RPC and data movement.
+
+``schedule_transfer``
+    Queueing: computes a completion timestamp using per-host
+    ``busy_until`` bookkeeping *without* advancing the global clock, so a
+    benchmark can issue many logically-concurrent reads and measure
+    aggregate throughput (load-balancing experiment E3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import HostUnreachable, NetworkError
+from repro.util.clock import SimClock
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Latency/bandwidth parameters for a (directed) host pair.
+
+    latency_s:        one-way propagation + per-message overhead, seconds.
+    bandwidth_bps:    sustained bytes/second the *path* can carry.
+    per_stream_bps:   what one TCP stream achieves on this path (window
+                      limited on high bandwidth-delay-product links).
+                      ``None`` means a single stream saturates the path.
+
+    The per-stream cap is why the SRB grew parallel transfers: on an
+    early-2000s transcontinental path one stream ran far below the
+    path's capacity, and k parallel streams recovered ``min(capacity,
+    k x per-stream)``.
+    """
+
+    latency_s: float = 0.010
+    bandwidth_bps: float = 10e6
+    per_stream_bps: Optional[float] = None
+
+    def effective_bps(self, streams: int = 1) -> float:
+        """Achievable throughput with ``streams`` parallel connections."""
+        if streams < 1:
+            raise NetworkError(f"need at least one stream, got {streams}")
+        if self.per_stream_bps is None:
+            return self.bandwidth_bps
+        return min(self.bandwidth_bps, streams * self.per_stream_bps)
+
+    def cost(self, nbytes: int, streams: int = 1) -> float:
+        """Virtual seconds to move ``nbytes`` over this link (one message)."""
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size {nbytes}")
+        if not nbytes:
+            return self.latency_s
+        return self.latency_s + nbytes / self.effective_bps(streams)
+
+
+# Named profiles roughly matching the paper's deployment tiers.
+LAN = LinkSpec(latency_s=0.0005, bandwidth_bps=100e6)
+CAMPUS = LinkSpec(latency_s=0.002, bandwidth_bps=50e6)
+WAN = LinkSpec(latency_s=0.040, bandwidth_bps=5e6)
+TRANSCON = LinkSpec(latency_s=0.080, bandwidth_bps=2e6)
+LOOPBACK = LinkSpec(latency_s=0.00005, bandwidth_bps=1e9)
+
+
+@dataclass
+class Host:
+    """A machine in the grid: runs SRB servers and/or storage systems."""
+
+    name: str
+    site: str = "sdsc"
+    up: bool = True
+    # Completion timestamp of the last queued transfer touching this host;
+    # used only by schedule_transfer for concurrency modelling.
+    busy_until: float = 0.0
+
+
+class Network:
+    """Registry of hosts + links + the shared virtual clock."""
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 default_link: LinkSpec = WAN):
+        self.clock = clock if clock is not None else SimClock()
+        self.default_link = default_link
+        self._hosts: Dict[str, Host] = {}
+        self._links: Dict[Tuple[str, str], LinkSpec] = {}
+        self._partitions: Set[frozenset] = set()
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def add_host(self, name: str, site: str = "sdsc") -> Host:
+        if name in self._hosts:
+            raise NetworkError(f"host {name!r} already exists")
+        host = Host(name=name, site=site)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise HostUnreachable(f"unknown host {name!r}") from None
+
+    def hosts(self):
+        return list(self._hosts.values())
+
+    def set_link(self, a: str, b: str, spec: LinkSpec,
+                 symmetric: bool = True) -> None:
+        """Set link parameters between hosts ``a`` and ``b``."""
+        self.host(a), self.host(b)  # validate
+        self._links[(a, b)] = spec
+        if symmetric:
+            self._links[(b, a)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        if src == dst:
+            return LOOPBACK
+        return self._links.get((src, dst), self.default_link)
+
+    # -- failure injection ---------------------------------------------------
+
+    def set_down(self, name: str) -> None:
+        self.host(name).up = False
+
+    def set_up(self, name: str) -> None:
+        self.host(name).up = True
+
+    def partition(self, a: str, b: str) -> None:
+        """Make ``a`` and ``b`` mutually unreachable (symmetric)."""
+        self.host(a), self.host(b)
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitions.discard(frozenset((a, b)))
+
+    def reachable(self, src: str, dst: str) -> bool:
+        if not self.host(src).up or not self.host(dst).up:
+            return False
+        return frozenset((src, dst)) not in self._partitions
+
+    # -- transfer ------------------------------------------------------------
+
+    def check_reachable(self, src: str, dst: str) -> None:
+        if not self.host(dst).up:
+            raise HostUnreachable(f"host {dst!r} is down")
+        if not self.host(src).up:
+            raise HostUnreachable(f"host {src!r} is down")
+        if frozenset((src, dst)) in self._partitions:
+            raise HostUnreachable(f"hosts {src!r} and {dst!r} are partitioned")
+
+    def transfer(self, src: str, dst: str, nbytes: int = 0,
+                 streams: int = 1) -> float:
+        """Move one message of ``nbytes`` from ``src`` to ``dst``.
+
+        Advances the clock by the link cost and returns the elapsed virtual
+        seconds.  ``streams`` > 1 models the SRB's parallel data transfer:
+        on window-limited links (``per_stream_bps`` set) k streams reach
+        ``min(capacity, k x per-stream)``.  Raises
+        :class:`HostUnreachable` on failure — after charging one latency
+        for the timeout, which is what makes replica failover measurably
+        non-free in experiment E2.
+        """
+        spec = self.link(src, dst)
+        try:
+            self.check_reachable(src, dst)
+        except HostUnreachable:
+            # A failed attempt still costs a timeout (we charge one RTT).
+            self.clock.advance(2 * spec.latency_s)
+            raise
+        cost = spec.cost(nbytes, streams=streams)
+        self.clock.advance(cost)
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return cost
+
+    def schedule_transfer(self, src: str, dst: str, nbytes: int,
+                          not_before: Optional[float] = None) -> float:
+        """Queue a transfer and return its completion timestamp.
+
+        Models per-host serialization: the transfer cannot start before
+        either endpoint finishes its previous queued transfer.  Does not
+        advance the global clock; callers (the load-balance benchmark)
+        take ``max`` over completions to compute makespan.
+        """
+        self.check_reachable(src, dst)
+        spec = self.link(src, dst)
+        s, d = self.host(src), self.host(dst)
+        start = max(self.clock.now, s.busy_until, d.busy_until,
+                    not_before if not_before is not None else 0.0)
+        done = start + spec.cost(nbytes)
+        s.busy_until = done
+        d.busy_until = done
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        return done
+
+    def reset_queues(self) -> None:
+        """Clear ``busy_until`` bookkeeping between benchmark trials."""
+        for h in self._hosts.values():
+            h.busy_until = 0.0

@@ -1,0 +1,46 @@
+"""Wire-size accounting for RPC payloads.
+
+The simulator charges network time per byte, so every RPC needs a
+deterministic estimate of its serialized size.  We measure structured
+payloads (dicts/lists/strings/bytes/numbers) with a simple recursive model
+approximating a compact binary encoding; the point is not byte-exact
+fidelity but that a request naming three attributes costs more than one
+naming none, and that file contents dominate control traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+# fixed per-value envelope overhead (type tag + length prefix)
+_ENVELOPE = 4
+# fixed per-message header (opcode, session, routing)
+MESSAGE_HEADER = 64
+
+
+def sizeof(value: Any) -> int:
+    """Approximate serialized size of ``value`` in bytes."""
+    if value is None or isinstance(value, bool):
+        return _ENVELOPE
+    if isinstance(value, int):
+        return _ENVELOPE + 8
+    if isinstance(value, float):
+        return _ENVELOPE + 8
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return _ENVELOPE + len(value)
+    if isinstance(value, str):
+        return _ENVELOPE + len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return _ENVELOPE + sum(sizeof(v) for v in value)
+    if isinstance(value, dict):
+        return _ENVELOPE + sum(sizeof(k) + sizeof(v) for k, v in value.items())
+    # dataclass-ish objects serialize their __dict__
+    if hasattr(value, "__dict__"):
+        return _ENVELOPE + sizeof(vars(value))
+    # fall back to repr length for exotic types
+    return _ENVELOPE + len(repr(value))
+
+
+def message_size(payload: Any) -> int:
+    """Total on-wire size of one RPC message carrying ``payload``."""
+    return MESSAGE_HEADER + sizeof(payload)

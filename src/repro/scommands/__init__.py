@@ -1,0 +1,5 @@
+"""Scommands: the SRB command-line interface (Sput/Sget/Sls/...)."""
+
+from repro.scommands.shell import CommandError, Shell
+
+__all__ = ["Shell", "CommandError"]

@@ -1,0 +1,35 @@
+"""Interactive Scommand shell against a demo grid.
+
+Run:  python -m repro.scommands
+Sign on with:  Sinit sekar@sdsc secret
+"""
+
+import sys
+
+from repro.core import SrbClient
+from repro.scommands import Shell
+from repro.workload import standard_grid
+
+
+def main() -> int:
+    grid = standard_grid()
+    grid.admin.grant("/demozone", "sekar@sdsc", "read")
+    client = SrbClient(grid.fed, "laptop", "srb1")
+    shell = Shell(client)
+    print("repro Scommand shell - demo grid 'demozone' "
+          "(user sekar@sdsc / secret). 'help' lists commands; ^D exits.")
+    while True:
+        try:
+            line = input(f"srb:{shell.cwd}> ")
+        except EOFError:
+            print()
+            return 0
+        code, output = shell.run(line)
+        if output:
+            print(output)
+        if code != 0:
+            print(f"[exit {code}]")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,142 @@
+"""Database storage resource.
+
+The SRB brokers databases two ways, both reproduced here:
+
+* **LOB storage** — "A file that can exist ... as a LOB in a database
+  system": the driver implements :class:`StorageDriver` over a ``lobs``
+  table so data objects can be ingested into / registered inside a
+  database exactly like a file system.
+
+* **Registered SQL query objects** — "The user specifies a SQL query
+  which can be either partial ... or a full SQL query.  The query is
+  executed at retrieval time."  :meth:`execute_sql` runs a SELECT against
+  the user tables of the same database and returns a columnar result the
+  T-language templates (HTMLREL / HTMLNEST / XMLREL) render.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from repro.errors import AlreadyExists, DatabaseError, NoSuchPhysicalFile, StorageError
+from repro.db import Column, Database, ResultSet
+from repro.db.sql import is_select_only
+from repro.storage.base import DATABASE_COST, DeviceCost, StorageDriver, normalize_physical
+from repro.util.clock import SimClock
+
+
+class DatabaseResourceDriver(StorageDriver):
+    """A database system (Oracle/DB2/Sybase class) brokered by the SRB."""
+
+    kind = "database"
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 cost: DeviceCost = DATABASE_COST,
+                 name: str = "dbres"):
+        super().__init__(clock=clock, cost=cost)
+        self.database = Database(name=name, clock=clock)
+        self._lobs = self.database.create_table(
+            "lobs",
+            [Column("path", "TEXT", nullable=False),
+             Column("data", "BLOB", nullable=False)],
+            primary_key="path",
+        )
+
+    # -- LOB helpers -----------------------------------------------------------
+
+    def _lob_rid(self, path: str) -> int:
+        rids = self._lobs.lookup_eq("path", path)
+        if not rids:
+            raise NoSuchPhysicalFile(f"database: no LOB {path!r}")
+        return rids[0]
+
+    # -- StorageDriver over LOBs --------------------------------------------------
+
+    def create(self, path: str, data: bytes) -> None:
+        path = normalize_physical(path)
+        if self._lobs.lookup_eq("path", path):
+            raise AlreadyExists(f"LOB exists: {path!r}")
+        self._lobs.insert({"path": path, "data": bytes(data)})
+        self._charge_write(len(data))
+
+    def read(self, path: str, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        path = normalize_physical(path)
+        blob: bytes = self._lobs.value(self._lob_rid(path), "data")
+        if offset < 0 or offset > len(blob):
+            raise StorageError(f"offset {offset} out of range for {path!r}")
+        end = len(blob) if length is None else min(len(blob), offset + length)
+        data = blob[offset:end]
+        self._charge_read(len(data))
+        return data
+
+    def write(self, path: str, data: bytes, offset: int = 0) -> None:
+        path = normalize_physical(path)
+        rid = self._lob_rid(path)
+        blob = bytearray(self._lobs.value(rid, "data"))
+        if offset < 0 or offset > len(blob):
+            raise StorageError(f"offset {offset} out of range for {path!r}")
+        grow = max(0, offset + len(data) - len(blob))
+        if grow:
+            blob.extend(b"\x00" * grow)
+        blob[offset:offset + len(data)] = data
+        self._lobs.update_row(rid, {"data": bytes(blob)})
+        self._charge_write(len(data))
+
+    def append(self, path: str, data: bytes) -> None:
+        path = normalize_physical(path)
+        rid = self._lob_rid(path)
+        blob = self._lobs.value(rid, "data") + bytes(data)
+        self._lobs.update_row(rid, {"data": blob})
+        self._charge_write(len(data))
+
+    def delete(self, path: str) -> None:
+        path = normalize_physical(path)
+        self._lobs.delete_row(self._lob_rid(path))
+        self._charge_op()
+
+    def exists(self, path: str) -> bool:
+        return bool(self._lobs.lookup_eq("path", normalize_physical(path)))
+
+    def size(self, path: str) -> int:
+        path = normalize_physical(path)
+        self._charge_op()
+        return len(self._lobs.value(self._lob_rid(path), "data"))
+
+    def list_dir(self, path: str) -> List[str]:
+        prefix = normalize_physical(path)
+        if prefix != "/":
+            prefix += "/"
+        names = set()
+        for rid in self._lobs.scan():
+            fpath = self._lobs.value(rid, "path")
+            if fpath.startswith(prefix):
+                rest = fpath[len(prefix):]
+                names.add(rest.split("/", 1)[0] + "/" if "/" in rest else rest)
+        self._charge_op()
+        return sorted(names)
+
+    def used_bytes(self) -> int:
+        return sum(len(self._lobs.value(rid, "data")) for rid in self._lobs.scan())
+
+    # -- user tables + registered SQL --------------------------------------------
+
+    def create_user_table(self, name: str, columns: Sequence[Column],
+                          primary_key: Optional[str] = None):
+        """Create an application table (the kind registered SQL queries hit)."""
+        if name == "lobs":
+            raise DatabaseError("'lobs' is reserved for LOB storage")
+        return self.database.create_table(name, columns, primary_key=primary_key)
+
+    def execute_sql(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Run a registered SELECT at retrieval time.
+
+        Only SELECTs are allowed, mirroring the paper's security
+        recommendation (MySRB's registration form enforces it; this is the
+        backstop).
+        """
+        if not is_select_only(sql):
+            raise DatabaseError(
+                "only SELECT queries may be executed through a registered "
+                "SQL object")
+        return self.database.execute(sql, params)

@@ -1,0 +1,118 @@
+"""In-memory file-system driver.
+
+Models the "Unix File System, NT File System and Mac OSX File System"
+class of resources.  Files live in a dict keyed by normalized path;
+directories are implicit.  This is the default driver for simulated
+deployments (deterministic, no real-disk noise in the virtual-clock
+accounting); :mod:`repro.storage.unixfs` provides a real-POSIX-backed
+variant for the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AlreadyExists, StorageError
+from repro.storage.base import DISK_COST, DeviceCost, StorageDriver, normalize_physical
+from repro.util.clock import SimClock
+
+
+class MemFsDriver(StorageDriver):
+    """Dictionary-backed POSIX-flavoured file store."""
+
+    kind = "unixfs"
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 cost: DeviceCost = DISK_COST,
+                 capacity_bytes: Optional[int] = None):
+        super().__init__(clock=clock, cost=cost)
+        self._files: Dict[str, bytearray] = {}
+        self.capacity_bytes = capacity_bytes
+
+    # -- helpers ------------------------------------------------------------
+
+    def _check_capacity(self, delta: int) -> None:
+        if self.capacity_bytes is None or delta <= 0:
+            return
+        if self.used_bytes() + delta > self.capacity_bytes:
+            from repro.errors import StorageFull
+            raise StorageFull(
+                f"resource full: {self.used_bytes() + delta} > {self.capacity_bytes}")
+
+    # -- StorageDriver ------------------------------------------------------
+
+    def create(self, path: str, data: bytes) -> None:
+        path = normalize_physical(path)
+        if path in self._files:
+            raise AlreadyExists(f"file exists: {path!r}")
+        self._check_capacity(len(data))
+        self._files[path] = bytearray(data)
+        self._charge_write(len(data))
+
+    def read(self, path: str, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        path = normalize_physical(path)
+        self.require(path)
+        buf = self._files[path]
+        if offset < 0 or offset > len(buf):
+            raise StorageError(f"offset {offset} out of range for {path!r}")
+        end = len(buf) if length is None else min(len(buf), offset + length)
+        data = bytes(buf[offset:end])
+        self._charge_read(len(data))
+        return data
+
+    def write(self, path: str, data: bytes, offset: int = 0) -> None:
+        path = normalize_physical(path)
+        self.require(path)
+        buf = self._files[path]
+        if offset < 0 or offset > len(buf):
+            raise StorageError(f"offset {offset} out of range for {path!r}")
+        grow = max(0, offset + len(data) - len(buf))
+        self._check_capacity(grow)
+        if grow:
+            buf.extend(b"\x00" * grow)
+        buf[offset:offset + len(data)] = data
+        self._charge_write(len(data))
+
+    def append(self, path: str, data: bytes) -> None:
+        path = normalize_physical(path)
+        self.require(path)
+        self._check_capacity(len(data))
+        self._files[path].extend(data)
+        self._charge_write(len(data))
+
+    def delete(self, path: str) -> None:
+        path = normalize_physical(path)
+        self.require(path)
+        del self._files[path]
+        self._charge_op()
+
+    def exists(self, path: str) -> bool:
+        return normalize_physical(path) in self._files
+
+    def size(self, path: str) -> int:
+        path = normalize_physical(path)
+        self.require(path)
+        self._charge_op()
+        return len(self._files[path])
+
+    def list_dir(self, path: str) -> List[str]:
+        prefix = normalize_physical(path)
+        if prefix != "/":
+            prefix += "/"
+        names = set()
+        for fpath in self._files:
+            if fpath.startswith(prefix):
+                rest = fpath[len(prefix):]
+                if "/" in rest:
+                    names.add(rest.split("/", 1)[0] + "/")
+                else:
+                    names.add(rest)
+        self._charge_op()
+        return sorted(names)
+
+    def used_bytes(self) -> int:
+        return sum(len(b) for b in self._files.values())
+
+    def file_count(self) -> int:
+        return len(self._files)

@@ -1,0 +1,120 @@
+"""POSIX-backed file-system driver.
+
+Stores files under a real directory on the local machine.  Used by the
+examples so a reader can inspect what the SRB physically wrote; the
+simulated deployments in tests/benchmarks prefer :class:`MemFsDriver`
+to keep the virtual clock free of real-disk noise.  Virtual-clock costs
+are still charged identically so results stay comparable.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from typing import List, Optional
+
+from repro.errors import AlreadyExists, NoSuchPhysicalFile, StorageError
+from repro.storage.base import DISK_COST, DeviceCost, StorageDriver, normalize_physical
+from repro.util.clock import SimClock
+
+
+class UnixFsDriver(StorageDriver):
+    """Driver rooted at ``root`` on the host file system."""
+
+    kind = "unixfs"
+
+    def __init__(self, root: str, clock: Optional[SimClock] = None,
+                 cost: DeviceCost = DISK_COST):
+        super().__init__(clock=clock, cost=cost)
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _real(self, path: str) -> str:
+        rel = normalize_physical(path).lstrip("/")
+        real = os.path.normpath(os.path.join(self.root, rel))
+        if not real.startswith(self.root):
+            raise StorageError(f"path escapes resource root: {path!r}")
+        return real
+
+    # -- StorageDriver -----------------------------------------------------
+
+    def create(self, path: str, data: bytes) -> None:
+        real = self._real(path)
+        if os.path.exists(real):
+            raise AlreadyExists(f"file exists: {path!r}")
+        os.makedirs(os.path.dirname(real), exist_ok=True)
+        with open(real, "wb") as fh:
+            fh.write(data)
+        self._charge_write(len(data))
+
+    def read(self, path: str, offset: int = 0,
+             length: Optional[int] = None) -> bytes:
+        real = self._real(path)
+        if not os.path.isfile(real):
+            raise NoSuchPhysicalFile(f"unixfs: no file {path!r}")
+        with open(real, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read() if length is None else fh.read(length)
+        self._charge_read(len(data))
+        return data
+
+    def write(self, path: str, data: bytes, offset: int = 0) -> None:
+        real = self._real(path)
+        if not os.path.isfile(real):
+            raise NoSuchPhysicalFile(f"unixfs: no file {path!r}")
+        with open(real, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            end = fh.tell()
+            if offset > end:
+                raise StorageError(f"offset {offset} beyond EOF {end}")
+            fh.seek(offset)
+            fh.write(data)
+        self._charge_write(len(data))
+
+    def append(self, path: str, data: bytes) -> None:
+        real = self._real(path)
+        if not os.path.isfile(real):
+            raise NoSuchPhysicalFile(f"unixfs: no file {path!r}")
+        with open(real, "ab") as fh:
+            fh.write(data)
+        self._charge_write(len(data))
+
+    def delete(self, path: str) -> None:
+        real = self._real(path)
+        if not os.path.isfile(real):
+            raise NoSuchPhysicalFile(f"unixfs: no file {path!r}")
+        os.remove(real)
+        self._charge_op()
+
+    def exists(self, path: str) -> bool:
+        return os.path.isfile(self._real(path))
+
+    def size(self, path: str) -> int:
+        real = self._real(path)
+        if not os.path.isfile(real):
+            raise NoSuchPhysicalFile(f"unixfs: no file {path!r}")
+        self._charge_op()
+        return os.path.getsize(real)
+
+    def list_dir(self, path: str) -> List[str]:
+        real = self._real(path)
+        if not os.path.isdir(real):
+            return []
+        self._charge_op()
+        out = []
+        for name in sorted(os.listdir(real)):
+            full = os.path.join(real, name)
+            out.append(name + "/" if os.path.isdir(full) else name)
+        return out
+
+    def used_bytes(self) -> int:
+        total = 0
+        for dirpath, _dirs, files in os.walk(self.root):
+            for name in files:
+                total += os.path.getsize(os.path.join(dirpath, name))
+        return total
+
+    def wipe(self) -> None:
+        """Remove everything under the root (test helper)."""
+        shutil.rmtree(self.root)
+        os.makedirs(self.root, exist_ok=True)

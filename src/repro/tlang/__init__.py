@@ -1,0 +1,17 @@
+"""T-language: rule-based metadata extraction and style-sheet templates."""
+
+from repro.tlang.extract import ExtractionProgram, Rule, Triple
+from repro.tlang.template import (
+    BUILTIN_TEMPLATES,
+    HTMLNEST_SOURCE,
+    HTMLREL_SOURCE,
+    XMLREL_SOURCE,
+    StyleSheet,
+    builtin,
+)
+
+__all__ = [
+    "ExtractionProgram", "Rule", "Triple",
+    "StyleSheet", "builtin", "BUILTIN_TEMPLATES",
+    "HTMLREL_SOURCE", "HTMLNEST_SOURCE", "XMLREL_SOURCE",
+]

@@ -1,0 +1,177 @@
+"""T-language extraction programs.
+
+The paper: "Metadata extraction methods can be written in T-language,
+which has a simple form of rules for identifying metadata values and
+associating them with metadata names."  The original T-language shipped
+only inside the SRB package; we reproduce a rule language with the same
+observable power — regex rules over the document that emit (attribute,
+value, units) triples.
+
+Grammar (one rule per line; ``#`` starts a comment)::
+
+    EXTRACT /regex/ -> name_expr = value_expr [UNITS units_expr]
+    EXTRACT LINES /regex/ -> name_expr = value_expr [UNITS units_expr]
+
+* a plain ``EXTRACT`` runs the regex over the whole document with
+  ``finditer``; ``EXTRACT LINES`` applies it per line;
+* expressions concatenate single-quoted string literals and ``$group``
+  references to the regex's named or numbered groups, joined with ``+``;
+* each regex match emits one triple; empty attribute names are skipped.
+
+Example — a FITS header extractor::
+
+    # FITS cards are KEY = value / comment
+    EXTRACT LINES /^(?P<key>[A-Z][A-Z0-9_-]{0,7})\\s*=\\s*(?P<val>[^\\/]+)/ -> $key = $val
+
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import TLangError
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One extracted metadata triple."""
+
+    attr: str
+    value: str
+    units: Optional[str] = None
+
+
+# expression atoms: 'literal' or $group
+_ATOM_RE = re.compile(r"\s*(?:'((?:[^'\\]|\\.)*)'|\$([A-Za-z_][A-Za-z_0-9]*|\d+))\s*")
+
+
+@dataclass(frozen=True)
+class _Expr:
+    """A concatenation of literals and group references."""
+
+    parts: Tuple[Tuple[str, str], ...]   # ("lit", text) | ("ref", group)
+
+    def evaluate(self, match: "re.Match[str]") -> str:
+        out = []
+        for kind, payload in self.parts:
+            if kind == "lit":
+                out.append(payload)
+            else:
+                try:
+                    value = match.group(int(payload)) if payload.isdigit() \
+                        else match.group(payload)
+                except (IndexError, re.error):
+                    raise TLangError(f"no regex group {payload!r}") from None
+                out.append(value if value is not None else "")
+        return "".join(out)
+
+
+def _parse_expr(text: str, line_no: int) -> _Expr:
+    parts: List[Tuple[str, str]] = []
+    pos = 0
+    expect_atom = True
+    while pos < len(text):
+        if not expect_atom:
+            rest = text[pos:].lstrip()
+            if not rest:
+                break
+            if not rest.startswith("+"):
+                raise TLangError(f"line {line_no}: expected '+' in expression "
+                                 f"near {rest[:20]!r}")
+            pos = len(text) - len(rest) + 1
+            expect_atom = True
+            continue
+        m = _ATOM_RE.match(text, pos)
+        if not m:
+            raise TLangError(f"line {line_no}: bad expression atom near "
+                             f"{text[pos:pos+20]!r}")
+        if m.group(1) is not None:
+            parts.append(("lit", m.group(1).replace("\\'", "'").replace("\\\\", "\\")))
+        else:
+            parts.append(("ref", m.group(2)))
+        pos = m.end()
+        expect_atom = False
+    if expect_atom:
+        raise TLangError(f"line {line_no}: empty expression")
+    return _Expr(parts=tuple(parts))
+
+
+@dataclass(frozen=True)
+class Rule:
+    pattern: "re.Pattern[str]"
+    per_line: bool
+    attr_expr: _Expr
+    value_expr: _Expr
+    units_expr: Optional[_Expr]
+
+    def apply(self, text: str) -> List[Triple]:
+        triples: List[Triple] = []
+        if self.per_line:
+            matches = []
+            for line in text.splitlines():
+                m = self.pattern.search(line)
+                if m:
+                    matches.append(m)
+        else:
+            matches = list(self.pattern.finditer(text))
+        for m in matches:
+            attr = self.attr_expr.evaluate(m).strip()
+            if not attr:
+                continue
+            value = self.value_expr.evaluate(m).strip()
+            units = self.units_expr.evaluate(m).strip() if self.units_expr else None
+            triples.append(Triple(attr=attr, value=value, units=units or None))
+        return triples
+
+
+_RULE_RE = re.compile(
+    r"^EXTRACT\s+(LINES\s+)?/((?:[^/\\]|\\.)*)/\s*->\s*(.*)$", re.IGNORECASE)
+
+
+class ExtractionProgram:
+    """A compiled T-language extraction script."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.rules: List[Rule] = []
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = _RULE_RE.match(line)
+            if not m:
+                raise TLangError(f"line {line_no}: cannot parse rule {line!r}")
+            per_line = bool(m.group(1))
+            try:
+                pattern = re.compile(m.group(2).replace("\\/", "/"))
+            except re.error as exc:
+                raise TLangError(f"line {line_no}: bad regex: {exc}") from exc
+            rhs = m.group(3)
+            units_expr = None
+            um = re.search(r"\bUNITS\b", rhs, re.IGNORECASE)
+            if um:
+                units_src = rhs[um.end():]
+                rhs = rhs[: um.start()]
+                units_expr = _parse_expr(units_src, line_no)
+            if "=" not in rhs:
+                raise TLangError(f"line {line_no}: rule needs 'name = value'")
+            attr_src, value_src = rhs.split("=", 1)
+            self.rules.append(Rule(
+                pattern=pattern, per_line=per_line,
+                attr_expr=_parse_expr(attr_src, line_no),
+                value_expr=_parse_expr(value_src, line_no),
+                units_expr=units_expr,
+            ))
+        if not self.rules:
+            raise TLangError("extraction program has no rules")
+
+    def run(self, text: str | bytes) -> List[Triple]:
+        """Extract triples from a document."""
+        if isinstance(text, (bytes, bytearray)):
+            text = bytes(text).decode("utf-8", errors="replace")
+        out: List[Triple] = []
+        for rule in self.rules:
+            out.extend(rule.apply(text))
+        return out

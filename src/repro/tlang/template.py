@@ -1,0 +1,216 @@
+"""T-language style sheets: rendering tabular results.
+
+Registered SQL objects are "pretty-printed" at retrieval time.  The paper
+ships three built-in templates and lets users supply their own
+style-sheet written in T-language:
+
+* ``HTMLREL`` — the result as a relational table in HTML,
+* ``HTMLNEST`` — the result as a nested HTML table (rows grouped by the
+  first column),
+* ``XMLREL`` — the result in XML "using a simple DTD".
+
+A style sheet is a line-oriented script::
+
+    ESCAPE html            # html | xml | none
+    HEADER '<table>'
+    COLHEAD '<th>${name}</th>'     # once per column, inside HEADER row
+    ROW '<tr>'                     # once per result row
+    CELL '<td>${value}</td>'       # once per cell within a row
+    ROWEND '</tr>'
+    FOOTER '</table>'
+
+``${name}`` in COLHEAD is the column name; ``${value}`` in CELL the cell
+value (NULL renders as an empty string); ``${colN}`` (1-based) in ROW /
+ROWEND picks a specific column of the current row, which is what lets
+HTMLNEST group by the first column.
+"""
+
+from __future__ import annotations
+
+import re
+from html import escape as html_escape
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import TLangError
+
+_DIRECTIVES = ("ESCAPE", "HEADER", "COLHEAD", "HEADEREND", "ROW", "CELL",
+               "ROWEND", "FOOTER", "GROUPBY")
+
+_STR_RE = re.compile(r"^'((?:[^'\\]|\\.)*)'\s*$")
+_SUBST_RE = re.compile(r"\$\{([A-Za-z_][A-Za-z_0-9]*|col\d+)\}")
+
+
+def _unquote(text: str, line_no: int) -> str:
+    m = _STR_RE.match(text.strip())
+    if not m:
+        raise TLangError(f"line {line_no}: expected quoted string, got {text!r}")
+    return (m.group(1).replace("\\'", "'").replace("\\n", "\n")
+            .replace("\\t", "\t").replace("\\\\", "\\"))
+
+
+class StyleSheet:
+    """A compiled T-language style sheet."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.escape = "none"
+        self.header = ""
+        self.colhead: Optional[str] = None
+        self.headerend = ""
+        self.row = ""
+        self.cell: Optional[str] = None
+        self.rowend = ""
+        self.footer = ""
+        self.group_by: Optional[int] = None   # 1-based column for nesting
+        seen = set()
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 1)
+            directive = parts[0].upper()
+            arg = parts[1] if len(parts) > 1 else ""
+            if directive not in _DIRECTIVES:
+                raise TLangError(f"line {line_no}: unknown directive {directive!r}")
+            if directive in seen:
+                raise TLangError(f"line {line_no}: duplicate {directive}")
+            seen.add(directive)
+            if directive == "ESCAPE":
+                mode = arg.strip().lower()
+                if mode not in ("html", "xml", "none"):
+                    raise TLangError(f"line {line_no}: ESCAPE must be html|xml|none")
+                self.escape = mode
+            elif directive == "GROUPBY":
+                try:
+                    self.group_by = int(arg.strip())
+                except ValueError:
+                    raise TLangError(f"line {line_no}: GROUPBY needs a column "
+                                     f"number") from None
+                if self.group_by < 1:
+                    raise TLangError(f"line {line_no}: GROUPBY is 1-based")
+            else:
+                value = _unquote(arg, line_no)
+                setattr(self, {"HEADER": "header", "COLHEAD": "colhead",
+                               "HEADEREND": "headerend", "ROW": "row",
+                               "CELL": "cell", "ROWEND": "rowend",
+                               "FOOTER": "footer"}[directive], value)
+
+    # -- rendering ------------------------------------------------------------
+
+    def _esc(self, value: Any) -> str:
+        text = "" if value is None else str(value)
+        if self.escape in ("html", "xml"):
+            if self.escape == "xml":
+                # control characters are illegal in XML 1.0 even as
+                # entities; drop everything below 0x20 except \t \n \r
+                text = "".join(ch for ch in text
+                               if ch in "\t\n\r" or ord(ch) >= 0x20)
+            return html_escape(text, quote=True)
+        return text
+
+    def _subst(self, template: str, mapping: Dict[str, Any]) -> str:
+        def repl(m: "re.Match[str]") -> str:
+            key = m.group(1)
+            if key not in mapping:
+                raise TLangError(f"unknown substitution ${{{key}}}")
+            return self._esc(mapping[key])
+        return _SUBST_RE.sub(repl, template)
+
+    def render(self, columns: Sequence[str],
+               rows: Sequence[Sequence[Any]]) -> str:
+        """Render a columnar result set."""
+        out: List[str] = []
+        out.append(self.header)
+        if self.colhead is not None:
+            for name in columns:
+                out.append(self._subst(self.colhead, {"name": name}))
+        out.append(self.headerend)
+
+        def row_mapping(row: Sequence[Any]) -> Dict[str, Any]:
+            mapping: Dict[str, Any] = {}
+            for i, value in enumerate(row, start=1):
+                mapping[f"col{i}"] = value
+            return mapping
+
+        if self.group_by is None:
+            for row in rows:
+                out.append(self._subst(self.row, row_mapping(row)))
+                if self.cell is not None:
+                    for value in row:
+                        out.append(self._subst(self.cell, {"value": value}))
+                out.append(self._subst(self.rowend, row_mapping(row)))
+        else:
+            gi = self.group_by - 1
+            if rows and gi >= len(rows[0]):
+                raise TLangError(f"GROUPBY column {self.group_by} out of range")
+            sentinel = object()
+            current: Any = sentinel
+            for row in rows:
+                key = row[gi]
+                if key != current:
+                    if current is not sentinel:
+                        out.append(self._subst(self.rowend, {}))
+                    out.append(self._subst(self.row, row_mapping(row)))
+                    current = key
+                if self.cell is not None:
+                    for i, value in enumerate(row):
+                        if i != gi:
+                            out.append(self._subst(self.cell, {"value": value}))
+            if rows:
+                out.append(self._subst(self.rowend, {}))
+        out.append(self.footer)
+        return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# the three built-in templates
+# ---------------------------------------------------------------------------
+
+HTMLREL_SOURCE = """\
+# Built-in: relational HTML table
+ESCAPE html
+HEADER '<table border="1" class="srb-result"><tr>'
+COLHEAD '<th>${name}</th>'
+HEADEREND '</tr>'
+ROW '<tr>'
+CELL '<td>${value}</td>'
+ROWEND '</tr>'
+FOOTER '</table>'
+"""
+
+HTMLNEST_SOURCE = """\
+# Built-in: nested HTML table grouped by the first column
+ESCAPE html
+GROUPBY 1
+HEADER '<table border="1" class="srb-result-nested">'
+ROW '<tr><td>${col1}</td><td><table>'
+CELL '<tr><td>${value}</td></tr>'
+ROWEND '</table></td></tr>'
+FOOTER '</table>'
+"""
+
+XMLREL_SOURCE = """\
+# Built-in: XML with a simple DTD
+ESCAPE xml
+HEADER '<?xml version="1.0"?><resultset>'
+ROW '<row>'
+CELL '<field>${value}</field>'
+ROWEND '</row>'
+FOOTER '</resultset>'
+"""
+
+BUILTIN_TEMPLATES: Dict[str, str] = {
+    "HTMLREL": HTMLREL_SOURCE,
+    "HTMLNEST": HTMLNEST_SOURCE,
+    "XMLREL": XMLREL_SOURCE,
+}
+
+
+def builtin(name: str) -> StyleSheet:
+    """Compile one of the paper's built-in templates by name."""
+    try:
+        return StyleSheet(BUILTIN_TEMPLATES[name.upper()])
+    except KeyError:
+        raise TLangError(
+            f"no built-in template {name!r}; choose from "
+            f"{sorted(BUILTIN_TEMPLATES)}") from None

@@ -1,0 +1,15 @@
+"""Synthetic workloads and canned grid topologies."""
+
+from repro.workload.synth import (
+    SynthFile,
+    embryo_files,
+    hyperspectral_files,
+    small_files,
+    survey_files,
+)
+from repro.workload.grids import StandardGrid, populate, standard_grid
+
+__all__ = [
+    "SynthFile", "survey_files", "embryo_files", "hyperspectral_files",
+    "small_files", "StandardGrid", "standard_grid", "populate",
+]

@@ -1,0 +1,121 @@
+"""Synthetic datasets standing in for the paper's collections.
+
+The paper names three flagship collections:
+
+* the **2-Micron All Sky Survey** (2MASS): "10 TB comprising 5 million
+  files in a digital library" — huge numbers of small FITS images with
+  positional/photometric attributes;
+* the **Digital Embryo collection**: "a digital library of images" —
+  medium-size images with sidecar header metadata (the DICOM pattern);
+* the **LTER hyper-spectral datasets**: "a distributed data collection" —
+  fewer, larger binary cubes with acquisition properties.
+
+We cannot ship those datasets; these generators produce files with the
+same *shape* (count/size distribution, extractable headers, attribute
+vocabulary) at any scale, deterministically from a seed, which is all the
+catalog-scaling and container experiments depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class SynthFile:
+    """One generated file: name, bytes, data type, and the attributes an
+    extraction method should be able to recover from the content."""
+
+    name: str
+    content: bytes
+    data_type: str
+    attributes: Dict[str, str]
+    sidecar: Optional[bytes] = None      # separate header file, if any
+
+
+def _fits_header(cards: Dict[str, str]) -> bytes:
+    """A simplified FITS primary header (80-char cards, END-terminated)."""
+    lines = ["SIMPLE  = T"]
+    for key, value in cards.items():
+        lines.append(f"{key.upper():<8}= {value}")
+    lines.append("END")
+    return ("\n".join(line.ljust(80) for line in lines) + "\n").encode()
+
+
+def survey_files(n: int, seed: int = 2002,
+                 payload_bytes: int = 2048) -> Iterator[SynthFile]:
+    """2MASS-style: many small FITS images.
+
+    Attributes: RA/DEC position, J-band magnitude, observation night.
+    ``payload_bytes`` of pseudo-pixels follow the header (2MASS cutouts
+    are a few KB compressed).
+    """
+    rng = random.Random(seed)
+    for i in range(n):
+        ra = round(rng.uniform(0.0, 360.0), 4)
+        dec = round(rng.uniform(-90.0, 90.0), 4)
+        mag = round(rng.uniform(4.0, 16.0), 2)
+        night = f"1999-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}"
+        cards = {"RA": str(ra), "DEC": str(dec), "JMAG": str(mag),
+                 "DATEOBS": night, "SURVEY": "2MASS"}
+        content = _fits_header(cards) + rng.randbytes(payload_bytes)
+        yield SynthFile(
+            name=f"tile-{i:07d}.fits", content=content,
+            data_type="fits image",
+            attributes={"RA": str(ra), "DEC": str(dec), "JMAG": str(mag),
+                        "DATEOBS": night, "SURVEY": "2MASS"})
+
+
+def embryo_files(n: int, seed: int = 1999,
+                 image_bytes: int = 64 * 1024) -> Iterator[SynthFile]:
+    """Digital-Embryo-style images with DICOM-dump sidecar headers."""
+    rng = random.Random(seed)
+    stages = ["zygote", "cleavage", "blastula", "gastrula", "neurula",
+              "organogenesis"]
+    for i in range(n):
+        stage = rng.choice(stages)
+        day = rng.randint(1, 40)
+        sidecar_text = (
+            f"(0010,0010) SpecimenName: embryo-{i:05d}\n"
+            f"(0008,0060) Modality: optical microscopy\n"
+            f"(0018,0015) Stage: {stage}\n"
+            f"(0018,1030) Day: {day}\n")
+        content = rng.randbytes(image_bytes)
+        yield SynthFile(
+            name=f"embryo-{i:05d}.img", content=content,
+            data_type="dicom image",
+            attributes={"SpecimenName": f"embryo-{i:05d}",
+                        "Modality": "optical microscopy",
+                        "Stage": stage, "Day": str(day)},
+            sidecar=sidecar_text.encode())
+
+
+def hyperspectral_files(n: int, seed: int = 1996,
+                        cube_bytes: int = 512 * 1024) -> Iterator[SynthFile]:
+    """LTER-style hyperspectral cubes with key=value properties headers."""
+    rng = random.Random(seed)
+    sites = ["sevilleta", "jornada", "niwot", "konza", "luquillo"]
+    for i in range(n):
+        site = rng.choice(sites)
+        bands = rng.choice([64, 128, 224])
+        gsd = rng.choice(["4m", "10m", "20m"])
+        header = (f"site = {site}\nbands = {bands}\n"
+                  f"gsd = {gsd}\nsensor = AVIRIS\n").encode()
+        content = header + rng.randbytes(cube_bytes)
+        yield SynthFile(
+            name=f"cube-{site}-{i:04d}.hsi", content=content,
+            data_type="ascii text",   # header is properties-extractable
+            attributes={"site": site, "bands": str(bands), "gsd": gsd,
+                        "sensor": "AVIRIS"})
+
+
+def small_files(n: int, size: int, seed: int = 7) -> Iterator[SynthFile]:
+    """Uniform small files for the container experiments (E1): the only
+    thing that matters is count x size."""
+    rng = random.Random(seed)
+    for i in range(n):
+        yield SynthFile(
+            name=f"f-{i:06d}.dat", content=rng.randbytes(size),
+            data_type="binary", attributes={})

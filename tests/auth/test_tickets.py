@@ -1,0 +1,96 @@
+"""Unit tests for SSO proxy tickets."""
+
+import dataclasses
+
+import pytest
+
+from repro.auth.tickets import TicketAuthority
+from repro.auth.users import Principal
+from repro.errors import InvalidTicket
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def authority():
+    return TicketAuthority("demozone", "key-1", SimClock())
+
+
+SEKAR = Principal.parse("sekar@sdsc")
+
+
+class TestIssueValidate:
+    def test_roundtrip(self, authority):
+        t = authority.issue(SEKAR)
+        assert authority.validate(t) == SEKAR
+
+    def test_audience_star_covers_all(self, authority):
+        t = authority.issue(SEKAR, audience="*")
+        authority.validate(t, audience="hpss-caltech")
+
+    def test_specific_audience_enforced(self, authority):
+        t = authority.issue(SEKAR, audience="unix-sdsc")
+        authority.validate(t, audience="unix-sdsc")
+        with pytest.raises(InvalidTicket):
+            authority.validate(t, audience="hpss-caltech")
+
+    def test_counters(self, authority):
+        t = authority.issue(SEKAR)
+        authority.validate(t)
+        assert authority.issued == 1
+        assert authority.validated == 1
+
+
+class TestForgeryAndExpiry:
+    def test_tampered_principal_rejected(self, authority):
+        t = authority.issue(SEKAR)
+        forged = dataclasses.replace(t, principal="evil@nowhere")
+        with pytest.raises(InvalidTicket):
+            authority.validate(forged)
+
+    def test_tampered_expiry_rejected(self, authority):
+        t = authority.issue(SEKAR, lifetime_s=10)
+        forged = dataclasses.replace(t, expires_at=t.expires_at + 10000)
+        with pytest.raises(InvalidTicket):
+            authority.validate(forged)
+
+    def test_wrong_zone_rejected(self, authority):
+        other = TicketAuthority("otherzone", "key-1", authority.clock)
+        t = other.issue(SEKAR)
+        with pytest.raises(InvalidTicket):
+            authority.validate(t)
+
+    def test_wrong_key_rejected(self):
+        clock = SimClock()
+        a1 = TicketAuthority("z", "key-1", clock)
+        a2 = TicketAuthority("z", "key-2", clock)
+        with pytest.raises(InvalidTicket):
+            a2.validate(a1.issue(SEKAR))
+
+    def test_expiry(self, authority):
+        t = authority.issue(SEKAR, lifetime_s=100.0)
+        authority.clock.advance(99.0)
+        authority.validate(t)
+        authority.clock.advance(1.0)
+        with pytest.raises(InvalidTicket):
+            authority.validate(t)
+
+
+class TestDelegation:
+    def test_delegate_narrows_audience(self, authority):
+        t = authority.issue(SEKAR)
+        narrowed = authority.delegate(t, "hpss-caltech")
+        assert authority.validate(narrowed, "hpss-caltech") == SEKAR
+        with pytest.raises(InvalidTicket):
+            authority.validate(narrowed, "unix-sdsc")
+
+    def test_delegate_preserves_expiry_budget(self, authority):
+        t = authority.issue(SEKAR, lifetime_s=100.0)
+        authority.clock.advance(60.0)
+        narrowed = authority.delegate(t, "res")
+        assert narrowed.expires_at == pytest.approx(t.expires_at)
+
+    def test_cannot_delegate_expired(self, authority):
+        t = authority.issue(SEKAR, lifetime_s=10.0)
+        authority.clock.advance(11.0)
+        with pytest.raises(InvalidTicket):
+            authority.delegate(t, "res")

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Federation, SrbClient
+from repro.workload import standard_grid
+
+
+@pytest.fixture
+def grid():
+    """The paper's standard deployment with admin + curator logged in."""
+    return standard_grid()
+
+
+@pytest.fixture
+def fed(grid):
+    return grid.fed
+
+
+@pytest.fixture
+def curator(grid):
+    return grid.curator
+
+
+@pytest.fixture
+def admin(grid):
+    return grid.admin
+
+
+@pytest.fixture
+def home(grid):
+    return grid.home
+
+
+@pytest.fixture
+def tiny_fed():
+    """A single-host, single-server federation for unit-ish core tests."""
+    fed = Federation(zone="demozone")
+    fed.add_host("sdsc")
+    fed.add_server("srb1", "sdsc", mcat=True)
+    fed.add_fs_resource("unix-sdsc", "sdsc")
+    fed.default_resource = "unix-sdsc"
+    fed.bootstrap_admin()
+    return fed
+
+
+@pytest.fixture
+def tiny_admin(tiny_fed):
+    client = SrbClient(tiny_fed, "sdsc", "srb1", "srbadmin@sdsc", "hunter2")
+    client.login()
+    return client

@@ -1,0 +1,126 @@
+"""Property-based tests on core invariants.
+
+These drive random operation sequences against a tiny federation and
+check the system-level invariants the paper relies on:
+
+* replica consistency: after any mix of puts and synchronizes, every
+  clean replica serves the latest content;
+* namespace integrity: objects are always reachable at exactly the path
+  the catalog reports, and moves never lose them;
+* container layout: members never overlap and concatenating the member
+  slices reproduces the container bytes.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Federation, SrbClient
+
+
+def build_fed() -> tuple:
+    fed = Federation(zone="z")
+    fed.add_host("h1")
+    fed.add_host("h2")
+    fed.add_server("s1", "h1", mcat=True)
+    fed.add_fs_resource("r1", "h1")
+    fed.add_fs_resource("r2", "h2")
+    fed.add_logical_resource("both", ["r1", "r2"])
+    fed.default_resource = "r1"
+    fed.bootstrap_admin()
+    client = SrbClient(fed, "h1", "s1", "srbadmin@sdsc", "hunter2")
+    client.login()
+    client.mkcoll("/z/w")
+    return fed, client
+
+
+# op encoding: (kind, payload)
+write_ops = st.lists(
+    st.tuples(st.sampled_from(["put", "sync", "replicate"]),
+              st.binary(min_size=1, max_size=32)),
+    min_size=1, max_size=8)
+
+
+class TestReplicaConsistency:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(write_ops)
+    def test_clean_replicas_serve_latest_write(self, ops):
+        fed, client = build_fed()
+        path = "/z/w/f.dat"
+        client.ingest(path, b"initial", resource="both")
+        latest = b"initial"
+        replicated_to = 0
+        for kind, payload in ops:
+            if kind == "put":
+                client.put(path, payload)
+                latest = payload
+            elif kind == "sync":
+                client.synchronize(path)
+            elif kind == "replicate" and replicated_to < 2:
+                client.replicate(path, "r1")
+                replicated_to += 1
+        # default read always returns the latest content
+        assert client.get(path) == latest
+        # every clean replica individually serves the latest content
+        oid = fed.mcat.get_object(path)["oid"]
+        for rep in fed.mcat.replicas(oid):
+            if not rep["is_dirty"]:
+                assert client.get(path, replica_num=rep["replica_num"]) == latest
+        # after one synchronize, no dirty replicas remain
+        client.synchronize(path)
+        assert all(not r["is_dirty"] for r in fed.mcat.replicas(oid))
+
+
+names = st.sampled_from(["a", "b", "c", "d"])
+
+
+class TestNamespaceIntegrity:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(st.sampled_from(["ingest", "move", "delete"]),
+                              names, names), min_size=1, max_size=12))
+    def test_catalog_paths_always_resolvable(self, ops):
+        fed, client = build_fed()
+        live = {}          # path -> content
+        for kind, n1, n2 in ops:
+            p1, p2 = f"/z/w/{n1}", f"/z/w/{n2}"
+            if kind == "ingest" and p1 not in live:
+                client.ingest(p1, n1.encode())
+                live[p1] = n1.encode()
+            elif kind == "move" and p1 in live and p2 not in live and p1 != p2:
+                client.move(p1, p2)
+                live[p2] = live.pop(p1)
+            elif kind == "delete" and p1 in live:
+                client.delete(p1)
+                del live[p1]
+        # every live path resolves to its content; nothing extra exists
+        for path, content in live.items():
+            assert client.get(path) == content
+        listed = {o["path"] for o in client.ls("/z/w")["objects"]}
+        assert listed == set(live)
+
+
+class TestContainerLayout:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.binary(min_size=1, max_size=64), min_size=1,
+                    max_size=10))
+    def test_member_slices_tile_the_container(self, blobs):
+        fed, client = build_fed()
+        client.create_container("/z/w/cont", "both")
+        for i, blob in enumerate(blobs):
+            client.ingest(f"/z/w/m{i}", blob, container="/z/w/cont")
+        coid = fed.mcat.get_object("/z/w/cont")["oid"]
+        members = fed.mcat.container_members(coid)
+        # offsets are disjoint, ordered, and gap-free
+        expected_offset = 0
+        for m in members:
+            assert m["offset"] == expected_offset
+            expected_offset += m["size"]
+        assert fed.mcat.get_object("/z/w/cont")["size"] == expected_offset
+        # each member reads back exactly its blob
+        for i, blob in enumerate(blobs):
+            assert client.get(f"/z/w/m{i}") == blob
+        # concatenation of slices equals the physical container bytes
+        crep = fed.mcat.replicas(coid)[0]
+        res = fed.resources.physical(crep["resource"])
+        assert res.driver.read_all(crep["physical_path"]) == b"".join(blobs)

@@ -1,0 +1,58 @@
+"""Server tests: single sign-on vs per-resource authentication (E7 logic)."""
+
+import pytest
+
+from repro.workload import standard_grid
+
+
+class TestSso:
+    def test_one_login_reaches_all_resources(self):
+        g = standard_grid(sso_enabled=True)
+        # one login already happened in the fixture; touch three different
+        # storage systems without further credential exchanges
+        g.curator.ingest(f"{g.home}/a", b"x", resource="unix-sdsc")
+        g.curator.ingest(f"{g.home}/b", b"x", resource="unix-caltech")
+        g.curator.ingest(f"{g.home}/c", b"x", resource="hpss-caltech")
+        assert g.curator.get(f"{g.home}/c") == b"x"
+
+    def test_per_resource_auth_costs_messages(self):
+        g_sso = standard_grid(sso_enabled=True)
+        g_leg = standard_grid(sso_enabled=False)
+        for g in (g_sso, g_leg):
+            g.curator.ingest(f"{g.home}/f", b"x", resource="unix-caltech")
+        m_sso = g_sso.fed.network.messages_sent
+        m_leg = g_leg.fed.network.messages_sent
+        for g in (g_sso, g_leg):
+            g.curator.get(f"{g.home}/f")
+        # the legacy grid spends 4 extra auth messages on the read
+        sso_delta = g_sso.fed.network.messages_sent - m_sso
+        leg_delta = g_leg.fed.network.messages_sent - m_leg
+        assert leg_delta == sso_delta + 4
+
+    def test_per_resource_auth_costs_time(self):
+        g_sso = standard_grid(sso_enabled=True)
+        g_leg = standard_grid(sso_enabled=False)
+        for g in (g_sso, g_leg):
+            g.curator.ingest(f"{g.home}/f", b"x", resource="unix-caltech")
+        t_sso = g_sso.fed.clock.now
+        t_leg = g_leg.fed.clock.now
+        g_sso.curator.get(f"{g.home}/f".format(g=g_sso))
+        g_leg.curator.get(f"{g.home}/f".format(g=g_leg))
+        assert (g_leg.fed.clock.now - t_leg) > (g_sso.fed.clock.now - t_sso)
+
+    def test_login_is_two_round_trips(self):
+        g = standard_grid()
+        before = g.fed.rpc.stats.calls
+        g.curator.login()
+        assert g.fed.rpc.stats.calls - before == 2   # challenge + response
+
+    def test_bad_password_rejected_and_audited(self):
+        g = standard_grid()
+        from repro.core import SrbClient
+        from repro.errors import BadCredentials
+        bad = SrbClient(g.fed, "laptop", "srb1", "sekar@sdsc", "WRONG")
+        with pytest.raises(BadCredentials):
+            bad.login()
+        failures = [e for e in g.fed.mcat.audit_query(action="login")
+                    if not e["ok"]]
+        assert len(failures) == 1

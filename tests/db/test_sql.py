@@ -1,0 +1,159 @@
+"""Unit + property tests for the SQL parser and LIKE compiler."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db import sql as S
+from repro.errors import DatabaseError
+
+
+class TestTokenizer:
+    def test_keywords_uppercased(self):
+        toks = S.tokenize("select x from t")
+        assert toks[0].kind == "keyword" and toks[0].text == "SELECT"
+
+    def test_string_with_escaped_quote(self):
+        toks = S.tokenize("SELECT x FROM t WHERE n = 'O''Brien'")
+        assert any(t.kind == "string" for t in toks)
+
+    def test_bad_character(self):
+        with pytest.raises(DatabaseError):
+            S.tokenize("SELECT @ FROM t")
+
+
+class TestParser:
+    def test_star(self):
+        q = S.parse("SELECT * FROM t")
+        assert q.star and q.table.table == "t"
+
+    def test_column_list_and_aliases(self):
+        q = S.parse("SELECT a AS x, b y FROM t")
+        assert [i.output_name for i in q.items] == ["x", "y"]
+
+    def test_qualified_columns(self):
+        q = S.parse("SELECT t.a FROM t")
+        assert q.items[0].expr == S.ColumnRef("t", "a")
+
+    def test_join(self):
+        q = S.parse("SELECT a FROM t JOIN u ON t.id = u.tid")
+        assert len(q.joins) == 1
+        assert q.joins[0].left == S.ColumnRef("t", "id")
+
+    def test_where_precedence_and_over_or(self):
+        q = S.parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert isinstance(q.where, S.Or)
+        assert isinstance(q.where.parts[1], S.And)
+
+    def test_parentheses(self):
+        q = S.parse("SELECT a FROM t WHERE (x = 1 OR y = 2) AND z = 3")
+        assert isinstance(q.where, S.And)
+
+    def test_not(self):
+        q = S.parse("SELECT a FROM t WHERE NOT x = 1")
+        assert isinstance(q.where, S.Not)
+
+    def test_comparison_ops(self):
+        for op in ("=", "<>", "!=", "<", ">", "<=", ">="):
+            q = S.parse(f"SELECT a FROM t WHERE x {op} 1")
+            want = "<>" if op == "!=" else op
+            assert q.where.op == want
+
+    def test_like_and_not_like(self):
+        q = S.parse("SELECT a FROM t WHERE n LIKE 'x%' AND m NOT LIKE '_y'")
+        assert q.where.parts[0].op == "LIKE"
+        assert q.where.parts[1].op == "NOT LIKE"
+
+    def test_in_list(self):
+        q = S.parse("SELECT a FROM t WHERE x IN (1, 2, 3)")
+        assert isinstance(q.where, S.InList)
+        assert len(q.where.options) == 3
+
+    def test_is_null_and_is_not_null(self):
+        q = S.parse("SELECT a FROM t WHERE x IS NULL AND y IS NOT NULL")
+        assert q.where.parts[0].negated is False
+        assert q.where.parts[1].negated is True
+
+    def test_params_numbered_in_order(self):
+        q = S.parse("SELECT a FROM t WHERE x = ? AND y = ?")
+        assert q.where.parts[0].right.index == 0
+        assert q.where.parts[1].right.index == 1
+
+    def test_aggregates(self):
+        q = S.parse("SELECT COUNT(*), SUM(v), AVG(v) FROM t")
+        assert q.items[0].expr.func == "COUNT" and q.items[0].expr.arg is None
+        assert q.items[1].expr.func == "SUM"
+
+    def test_count_distinct(self):
+        q = S.parse("SELECT COUNT(DISTINCT v) FROM t")
+        assert q.items[0].expr.distinct
+
+    def test_group_by(self):
+        q = S.parse("SELECT k, COUNT(*) FROM t GROUP BY k")
+        assert q.group_by == (S.ColumnRef(None, "k"),)
+
+    def test_order_by_desc_and_limit(self):
+        q = S.parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert q.order_by[0].descending
+        assert not q.order_by[1].descending
+        assert q.limit == 5
+
+    def test_union(self):
+        q = S.parse("SELECT a FROM t UNION SELECT a FROM u")
+        assert isinstance(q, S.UnionQuery) and not q.all
+
+    def test_union_all(self):
+        q = S.parse("SELECT a FROM t UNION ALL SELECT a FROM u")
+        assert q.all
+
+    def test_literals(self):
+        q = S.parse("SELECT a FROM t WHERE x = 1.5 AND y = 'txt' AND "
+                    "z = NULL AND w = TRUE")
+        values = [p.right.value for p in q.where.parts]
+        assert values == [1.5, "txt", None, True]
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DatabaseError):
+            S.parse("SELECT a FROM t garbage extra ,")
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatabaseError):
+            S.parse("   ")
+
+    def test_insert_rejected(self):
+        with pytest.raises(DatabaseError):
+            S.parse("INSERT INTO t VALUES (1)")
+
+
+class TestIsSelectOnly:
+    def test_select_ok(self):
+        assert S.is_select_only("SELECT a FROM t")
+
+    def test_delete_rejected(self):
+        assert not S.is_select_only("DELETE FROM t")
+
+    def test_union_ok(self):
+        assert S.is_select_only("SELECT a FROM t UNION SELECT b FROM u")
+
+
+class TestLike:
+    def test_percent_matches_any_run(self):
+        assert S.like_to_regex("ab%").match("abcdef")
+        assert S.like_to_regex("%cd%").match("abcdef")
+        assert not S.like_to_regex("ab%").match("xab")
+
+    def test_underscore_matches_one(self):
+        assert S.like_to_regex("a_c").match("abc")
+        assert not S.like_to_regex("a_c").match("abbc")
+
+    def test_regex_chars_escaped(self):
+        assert S.like_to_regex("a.c").match("a.c")
+        assert not S.like_to_regex("a.c").match("abc")
+
+    @given(st.text(alphabet="ab.%_[](){}\\^$", max_size=10))
+    def test_pattern_always_matches_itself_when_literal(self, text):
+        literal = text.replace("%", "").replace("_", "")
+        assert S.like_to_regex(literal).match(literal)
+
+    @given(st.text(max_size=15))
+    def test_lone_percent_matches_everything(self, text):
+        assert S.like_to_regex("%").match(text)

@@ -1,0 +1,201 @@
+"""Unit tests for typed tables and indexing."""
+
+import pytest
+
+from repro.db.table import Column, Table
+from repro.errors import DatabaseError
+
+
+def make_users() -> Table:
+    return Table("users", [Column("id", "INT", nullable=False),
+                           Column("name", "TEXT"),
+                           Column("age", "INT")], primary_key="id")
+
+
+class TestSchema:
+    def test_bad_type_rejected(self):
+        with pytest.raises(DatabaseError):
+            Column("x", "VARCHAR")
+
+    def test_bad_column_name_rejected(self):
+        with pytest.raises(DatabaseError):
+            Column("bad name", "TEXT")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(DatabaseError):
+            Table("t", [Column("a"), Column("a")])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(DatabaseError):
+            Table("t", [])
+
+    def test_missing_pk_column_rejected(self):
+        with pytest.raises(DatabaseError):
+            Table("t", [Column("a")], primary_key="b")
+
+
+class TestTypeChecking:
+    def test_type_enforced_on_insert(self):
+        t = make_users()
+        with pytest.raises(DatabaseError):
+            t.insert({"id": 1, "age": "not an int"})
+
+    def test_bool_not_accepted_as_int(self):
+        t = make_users()
+        with pytest.raises(DatabaseError):
+            t.insert({"id": 1, "age": True})
+
+    def test_float_column_coerces_int(self):
+        t = Table("m", [Column("v", "FLOAT")])
+        rid = t.insert({"v": 3})
+        assert t.value(rid, "v") == 3.0
+        assert isinstance(t.value(rid, "v"), float)
+
+    def test_not_null_enforced(self):
+        t = Table("m", [Column("v", "TEXT", nullable=False)])
+        with pytest.raises(DatabaseError):
+            t.insert({"v": None})
+
+    def test_unknown_column_rejected(self):
+        t = make_users()
+        with pytest.raises(DatabaseError):
+            t.insert({"id": 1, "nope": 2})
+
+
+class TestPrimaryKey:
+    def test_duplicate_pk_rejected(self):
+        t = make_users()
+        t.insert({"id": 1})
+        with pytest.raises(DatabaseError):
+            t.insert({"id": 1})
+
+    def test_null_pk_rejected(self):
+        t = make_users()
+        with pytest.raises(DatabaseError):
+            t.insert({"id": None})
+
+    def test_pk_update_to_existing_rejected(self):
+        t = make_users()
+        r1 = t.insert({"id": 1})
+        t.insert({"id": 2})
+        with pytest.raises(DatabaseError):
+            t.update_row(r1, {"id": 2})
+
+    def test_pk_reusable_after_delete(self):
+        t = make_users()
+        rid = t.insert({"id": 1})
+        t.delete_row(rid)
+        t.insert({"id": 1})
+        assert len(t) == 1
+
+
+class TestCrud:
+    def test_insert_and_read(self):
+        t = make_users()
+        rid = t.insert({"id": 1, "name": "ann", "age": 30})
+        assert t.row_dict(rid) == {"id": 1, "name": "ann", "age": 30}
+
+    def test_missing_values_become_null(self):
+        t = make_users()
+        rid = t.insert({"id": 1})
+        assert t.value(rid, "name") is None
+
+    def test_update(self):
+        t = make_users()
+        rid = t.insert({"id": 1, "age": 30})
+        t.update_row(rid, {"age": 31})
+        assert t.value(rid, "age") == 31
+
+    def test_delete_removes_row(self):
+        t = make_users()
+        rid = t.insert({"id": 1})
+        t.delete_row(rid)
+        assert len(t) == 0
+        with pytest.raises(DatabaseError):
+            t.row_dict(rid)
+
+    def test_scan_skips_tombstones(self):
+        t = make_users()
+        r1 = t.insert({"id": 1})
+        t.insert({"id": 2})
+        t.delete_row(r1)
+        assert [t.value(r, "id") for r in t.scan()] == [2]
+
+
+class TestIndexes:
+    def test_lookup_eq_with_index(self):
+        t = make_users()
+        t.create_index("name")
+        rid = t.insert({"id": 1, "name": "ann"})
+        t.insert({"id": 2, "name": "bob"})
+        assert t.lookup_eq("name", "ann") == [rid]
+
+    def test_lookup_eq_without_index_scans(self):
+        t = make_users()
+        rid = t.insert({"id": 1, "name": "ann"})
+        before = t.rows_scanned
+        assert t.lookup_eq("name", "ann") == [rid]
+        assert t.rows_scanned > before
+
+    def test_index_created_after_inserts_backfills(self):
+        t = make_users()
+        rid = t.insert({"id": 1, "name": "ann"})
+        t.create_index("name")
+        assert t.lookup_eq("name", "ann") == [rid]
+
+    def test_index_follows_updates(self):
+        t = make_users()
+        t.create_index("name")
+        rid = t.insert({"id": 1, "name": "ann"})
+        t.update_row(rid, {"name": "anna"})
+        assert t.lookup_eq("name", "ann") == []
+        assert t.lookup_eq("name", "anna") == [rid]
+
+    def test_index_follows_deletes(self):
+        t = make_users()
+        t.create_index("name")
+        rid = t.insert({"id": 1, "name": "ann"})
+        t.delete_row(rid)
+        assert t.lookup_eq("name", "ann") == []
+
+    def test_sorted_index_range(self):
+        t = make_users()
+        t.create_index("age", sorted_index=True)
+        for i, age in enumerate([25, 30, 35, 40], start=1):
+            t.insert({"id": i, "age": age})
+        rids = t.lookup_range("age", lo=30, hi=35)
+        assert sorted(t.value(r, "age") for r in rids) == [30, 35]
+
+    def test_range_exclusive_bounds(self):
+        t = make_users()
+        t.create_index("age", sorted_index=True)
+        for i, age in enumerate([25, 30, 35], start=1):
+            t.insert({"id": i, "age": age})
+        rids = t.lookup_range("age", lo=25, hi=35, lo_incl=False,
+                              hi_incl=False)
+        assert [t.value(r, "age") for r in rids] == [30]
+
+    def test_range_without_index(self):
+        t = make_users()
+        for i, age in enumerate([25, 30, 35], start=1):
+            t.insert({"id": i, "age": age})
+        rids = t.lookup_range("age", lo=28)
+        assert sorted(t.value(r, "age") for r in rids) == [30, 35]
+
+    def test_null_excluded_from_ranges(self):
+        t = make_users()
+        t.create_index("age", sorted_index=True)
+        t.insert({"id": 1, "age": None})
+        t.insert({"id": 2, "age": 10})
+        assert len(t.lookup_range("age", lo=0)) == 1
+
+    def test_drop_index(self):
+        t = make_users()
+        t.create_index("name")
+        t.drop_index("name")
+        assert "name" not in t.indexed_columns()
+
+    def test_cannot_drop_pk_index(self):
+        t = make_users()
+        with pytest.raises(DatabaseError):
+            t.drop_index("id")

@@ -1,0 +1,63 @@
+"""API documentation guarantees: every public item carries a docstring.
+
+The deliverable includes "doc comments on every public item"; this test
+makes the promise mechanical.  Public = importable module under
+``repro``, plus every class and function whose name does not start with
+an underscore defined in one of those modules.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def public_modules():
+    mods = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if any(part.startswith("_") for part in info.name.split(".")):
+            continue
+        mods.append(importlib.import_module(info.name))
+    return mods
+
+
+MODULES = public_modules()
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), \
+        f"{module.__name__} lacks a module docstring"
+
+
+def public_members():
+    seen = set()
+    for module in MODULES:
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", "").split(".")[0] != "repro":
+                continue
+            key = f"{obj.__module__}.{obj.__qualname__}"
+            if key not in seen:
+                seen.add(key)
+                yield key, obj
+
+
+MEMBERS = sorted(public_members(), key=lambda kv: kv[0])
+
+
+@pytest.mark.parametrize("key,obj", MEMBERS, ids=[k for k, _ in MEMBERS])
+def test_public_member_has_docstring(key, obj):
+    assert obj.__doc__ and obj.__doc__.strip(), f"{key} lacks a docstring"
+
+
+def test_suite_is_not_vacuous():
+    assert len(MODULES) >= 30
+    assert len(MEMBERS) >= 60

@@ -1,0 +1,157 @@
+"""Unit tests for the MySRB-style conjunctive attribute query."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.mcat import Condition, DisplayOnly, Mcat, queryable_attributes, search
+
+OWNER = "sekar@sdsc"
+
+
+@pytest.fixture
+def mcat():
+    m = Mcat()
+    m.create_collection("/demozone/survey", OWNER, now=0.0)
+    m.create_collection("/demozone/survey/north", OWNER, now=0.0)
+    m.create_collection("/demozone/other", OWNER, now=0.0)
+    objs = [
+        ("/demozone/survey/a.fits", {"RA": "10.5", "JMAG": "5.0",
+                                     "SURVEY": "2MASS"}),
+        ("/demozone/survey/b.fits", {"RA": "200.0", "JMAG": "12.0",
+                                     "SURVEY": "2MASS"}),
+        ("/demozone/survey/north/c.fits", {"RA": "350.1", "JMAG": "8.5",
+                                           "SURVEY": "2MASS"}),
+        ("/demozone/other/d.fits", {"RA": "10.5", "SURVEY": "DSS"}),
+    ]
+    for path, attrs in objs:
+        oid = m.create_object(path, "data", OWNER, now=0.0,
+                              data_type="fits image", size=1000)
+        for attr, value in attrs.items():
+            m.add_metadata("object", oid, attr, value, by=OWNER, now=0.0)
+    return m
+
+
+class TestConditions:
+    def test_operator_validated(self):
+        with pytest.raises(QueryError):
+            Condition("a", "~=", "x")
+
+    def test_condition_without_value_rejected(self, mcat):
+        with pytest.raises(QueryError):
+            search(mcat, "/demozone", [Condition("RA", "=", None)])
+
+
+class TestSearch:
+    def test_equality(self, mcat):
+        r = search(mcat, "/demozone/survey", [Condition("SURVEY", "=", "2MASS")])
+        assert len(r) == 3
+
+    def test_scope_limits_to_subtree(self, mcat):
+        r = search(mcat, "/demozone/survey/north",
+                   [Condition("SURVEY", "=", "2MASS")])
+        assert [row[0] for row in r.rows] == ["/demozone/survey/north/c.fits"]
+
+    def test_query_across_collections_from_above(self, mcat):
+        # "one can query across collections by being above the collections"
+        r = search(mcat, "/demozone", [Condition("SURVEY", "=", "2MASS")])
+        assert len(r) == 3
+
+    def test_numeric_range(self, mcat):
+        r = search(mcat, "/demozone/survey", [Condition("JMAG", "<", "9")])
+        assert {row[0] for row in r.rows} == {
+            "/demozone/survey/a.fits", "/demozone/survey/north/c.fits"}
+
+    def test_numeric_not_lexicographic(self, mcat):
+        # "12.0" < "5.0" lexicographically but not numerically
+        r = search(mcat, "/demozone/survey", [Condition("JMAG", ">", "9")])
+        assert [row[0] for row in r.rows] == ["/demozone/survey/b.fits"]
+
+    def test_conjunction(self, mcat):
+        r = search(mcat, "/demozone",
+                   [Condition("SURVEY", "=", "2MASS"),
+                    Condition("JMAG", ">=", "8"), Condition("JMAG", "<=", "9")])
+        assert [row[0] for row in r.rows] == ["/demozone/survey/north/c.fits"]
+
+    def test_not_equal(self, mcat):
+        r = search(mcat, "/demozone", [Condition("SURVEY", "<>", "2MASS")])
+        assert [row[0] for row in r.rows] == ["/demozone/other/d.fits"]
+
+    def test_like(self, mcat):
+        r = search(mcat, "/demozone", [Condition("RA", "like", "10%")])
+        assert len(r) == 2
+
+    def test_not_like(self, mcat):
+        r = search(mcat, "/demozone/survey",
+                   [Condition("RA", "not like", "1%")])
+        assert {row[0] for row in r.rows} == {
+            "/demozone/survey/b.fits", "/demozone/survey/north/c.fits"}
+
+    def test_display_values_in_result(self, mcat):
+        r = search(mcat, "/demozone/survey",
+                   [Condition("JMAG", "<", "6", display=True)])
+        assert r.columns == ["path", "JMAG"]
+        assert r.rows == [("/demozone/survey/a.fits", "5.0")]
+
+    def test_display_false_omits_column(self, mcat):
+        r = search(mcat, "/demozone/survey",
+                   [Condition("JMAG", "<", "6", display=False)])
+        assert r.columns == ["path"]
+
+    def test_display_only_checkbox(self, mcat):
+        # check the box without using the attr in any condition
+        r = search(mcat, "/demozone/survey",
+                   [Condition("JMAG", "<", "6", display=False),
+                    DisplayOnly("RA")])
+        assert r.columns == ["path", "RA"]
+        assert r.rows[0][1] == "10.5"
+
+    def test_missing_attribute_never_matches(self, mcat):
+        r = search(mcat, "/demozone/survey", [Condition("GHOST", "=", "x")])
+        assert len(r) == 0
+
+    def test_limit(self, mcat):
+        r = search(mcat, "/demozone", [Condition("SURVEY", "=", "2MASS")],
+                   limit=2)
+        assert len(r) == 2
+
+    def test_system_metadata(self, mcat):
+        r = search(mcat, "/demozone",
+                   [Condition("SYS:owner", "=", OWNER)],
+                   include_system=True)
+        assert len(r) == 4
+
+    def test_system_size_numeric(self, mcat):
+        r = search(mcat, "/demozone",
+                   [Condition("SYS:size", ">", "500")], include_system=True)
+        assert len(r) == 4
+
+    def test_annotations_queryable(self, mcat):
+        oid = mcat.get_object("/demozone/survey/a.fits")["oid"]
+        mcat.add_annotation("object", oid, "rating", OWNER, "excellent",
+                            now=0.0)
+        r = search(mcat, "/demozone",
+                   [Condition("ANN:rating", "like", "exc%")],
+                   include_annotations=True)
+        assert [row[0] for row in r.rows] == ["/demozone/survey/a.fits"]
+
+    def test_result_dicts(self, mcat):
+        r = search(mcat, "/demozone/survey", [Condition("JMAG", "<", "6")])
+        assert r.dicts()[0]["path"] == "/demozone/survey/a.fits"
+
+
+class TestQueryableAttributes:
+    def test_names_from_subtree(self, mcat):
+        names = queryable_attributes(mcat, "/demozone/survey")
+        assert set(names) == {"RA", "JMAG", "SURVEY"}
+
+    def test_scoped(self, mcat):
+        names = queryable_attributes(mcat, "/demozone/other")
+        assert set(names) == {"RA", "SURVEY"}
+
+    def test_structural_attrs_included(self, mcat):
+        mcat.define_structural("/demozone/survey", "epoch")
+        assert "epoch" in queryable_attributes(mcat, "/demozone/survey")
+
+    def test_system_names_appended(self, mcat):
+        names = queryable_attributes(mcat, "/demozone", include_system=True)
+        assert "SYS:owner" in names

@@ -1,0 +1,136 @@
+"""Tests for the index-driven query strategy (answers must be identical
+to the scan strategy in every case; the plan differs only in cost)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mcat import Condition, DisplayOnly, Mcat, search
+from repro.mcat.schema import drop_attribute_indexes
+from repro.errors import QueryError
+
+OWNER = "b@s"
+
+
+@pytest.fixture
+def mcat():
+    m = Mcat()
+    m.create_collection("/demozone/c", OWNER, now=0.0)
+    m.create_collection("/demozone/c/sub", OWNER, now=0.0)
+    m.create_collection("/demozone/other", OWNER, now=0.0)
+    data = [
+        ("/demozone/c/a", {"species": "ibis", "mag": "5.0"}),
+        ("/demozone/c/b", {"species": "heron", "mag": "9.5"}),
+        ("/demozone/c/sub/d", {"species": "ibis", "mag": "12.0"}),
+        ("/demozone/other/e", {"species": "ibis"}),
+    ]
+    for path, attrs in data:
+        oid = m.create_object(path, "data", OWNER, now=0.0)
+        for attr, value in attrs.items():
+            m.add_metadata("object", oid, attr, value, by=OWNER, now=0.0)
+    return m
+
+
+def both(mcat, scope, conditions, **kw):
+    a = search(mcat, scope, conditions, strategy="scan", **kw)
+    b = search(mcat, scope, conditions, strategy="index", **kw)
+    assert a.columns == b.columns
+    assert sorted(a.rows) == sorted(b.rows)
+    return a
+
+
+class TestEquivalence:
+    def test_equality(self, mcat):
+        r = both(mcat, "/demozone/c", [Condition("species", "=", "ibis")])
+        assert len(r) == 2
+
+    def test_scope_respected_by_index_plan(self, mcat):
+        r = both(mcat, "/demozone/c/sub",
+                 [Condition("species", "=", "ibis")])
+        assert [row[0] for row in r.rows] == ["/demozone/c/sub/d"]
+
+    def test_range(self, mcat):
+        r = both(mcat, "/demozone/c", [Condition("mag", ">", "6")])
+        assert len(r) == 2
+
+    def test_like(self, mcat):
+        r = both(mcat, "/demozone", [Condition("species", "like", "i%")])
+        assert len(r) == 3
+
+    def test_conjunction_intersects(self, mcat):
+        r = both(mcat, "/demozone/c",
+                 [Condition("species", "=", "ibis"),
+                  Condition("mag", "<", "6")])
+        assert [row[0] for row in r.rows] == ["/demozone/c/a"]
+
+    def test_empty_result(self, mcat):
+        r = both(mcat, "/demozone/c", [Condition("species", "=", "dodo")])
+        assert len(r) == 0
+
+    def test_display_columns_identical(self, mcat):
+        r = both(mcat, "/demozone/c",
+                 [Condition("species", "=", "ibis"), DisplayOnly("mag")])
+        assert r.columns == ["path", "species", "mag"]
+
+
+class TestFallbacks:
+    def test_no_conditions_falls_back_to_scan(self, mcat):
+        r = search(mcat, "/demozone/c", [DisplayOnly("species")],
+                   strategy="index")
+        assert len(r) == 3      # every object in scope (incl. sub/) listed
+
+    def test_system_attrs_fall_back(self, mcat):
+        r = search(mcat, "/demozone/c",
+                   [Condition("SYS:owner", "=", OWNER)],
+                   include_system=True, strategy="index")
+        assert len(r) == 3
+
+    def test_dropped_indexes_fall_back(self, mcat):
+        drop_attribute_indexes(mcat.db)
+        r = search(mcat, "/demozone/c", [Condition("species", "=", "ibis")],
+                   strategy="index")
+        assert len(r) == 2
+
+    def test_unknown_strategy_rejected(self, mcat):
+        with pytest.raises(QueryError):
+            search(mcat, "/demozone/c", [], strategy="quantum")
+
+
+class TestCost:
+    def test_index_plan_touches_fewer_rows(self):
+        m = Mcat()
+        m.create_collection("/demozone/big", OWNER, now=0.0)
+        for i in range(300):
+            oid = m.create_object(f"/demozone/big/o{i}", "data", OWNER,
+                                  now=0.0)
+            m.add_metadata("object", oid, "common", str(i), by=OWNER, now=0.0)
+            if i < 3:
+                m.add_metadata("object", oid, "rare", "yes", by=OWNER,
+                               now=0.0)
+
+        def rows_touched(strategy):
+            before = sum(m.db.table(t).rows_scanned for t in m.db.tables())
+            search(m, "/demozone/big", [Condition("rare", "=", "yes")],
+                   strategy=strategy)
+            return sum(m.db.table(t).rows_scanned
+                       for t in m.db.tables()) - before
+
+        scan_cost = rows_touched("scan")
+        index_cost = rows_touched("index")
+        assert index_cost < scan_cost / 5
+
+
+conditions_strategy = st.lists(
+    st.tuples(st.sampled_from(["species", "mag", "ghost"]),
+              st.sampled_from(["=", "<>", ">", "<", "like"]),
+              st.sampled_from(["ibis", "heron", "5.0", "9", "i%", "x"])),
+    min_size=1, max_size=3)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.function_scoped_fixture])
+    @given(conditions_strategy)
+    def test_random_queries_agree(self, mcat, conds):
+        conditions = [Condition(a, op, v) for a, op, v in conds]
+        both(mcat, "/demozone", conditions)

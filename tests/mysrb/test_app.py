@@ -1,0 +1,330 @@
+"""Tests for the MySRB web interface (sessions, pages, forms)."""
+
+import pytest
+
+from repro.db import Column
+from repro.mysrb import Browser, MySrbApp
+from repro.workload import standard_grid
+
+
+@pytest.fixture
+def web():
+    grid = standard_grid()
+    grid.admin.grant("/demozone", "sekar@sdsc", "read")
+    app = MySrbApp(grid.fed)
+    browser = Browser(app)
+    return grid, app, browser
+
+
+def login(browser):
+    return browser.login("sekar@sdsc", "secret")
+
+
+class TestSecurity:
+    def test_http_refused(self, web):
+        grid, app, _ = web
+        insecure = Browser(app, https=False)
+        r = insecure.get("/browse", follow_redirects=False)
+        assert r.code == 403
+        assert "https" in r.text
+
+    def test_login_sets_secure_cookie(self, web):
+        grid, app, browser = web
+        browser.request("POST", "/login",
+                        form={"username": "sekar@sdsc", "password": "secret"},
+                        follow_redirects=False)
+        assert browser.cookie is not None
+        assert browser.cookie.startswith("sk-")
+
+    def test_bad_password_rejected(self, web):
+        grid, app, browser = web
+        r = browser.login("sekar@sdsc", "WRONG")
+        assert r.code == 401
+        assert browser.cookie is None
+
+    def test_session_expires_after_60_minutes(self, web):
+        grid, app, browser = web
+        login(browser)
+        grid.fed.clock.advance(3601.0)
+        r = browser.get("/browse?path=/demozone")
+        assert r.code == 401
+
+    def test_forged_session_key_rejected(self, web):
+        grid, app, browser = web
+        browser.cookie = "sk-000042-deadbeefdeadbeef"
+        r = browser.get("/browse?path=/demozone")
+        assert r.code == 401
+
+    def test_logout_invalidates(self, web):
+        grid, app, browser = web
+        login(browser)
+        key = browser.cookie
+        browser.get("/logout", follow_redirects=False)
+        browser.cookie = key
+        home = browser.get("/browse?path=/demozone/home/sekar")
+        assert home.code == 401
+
+    def test_public_browsing_without_login(self, web):
+        grid, app, browser = web
+        grid.admin.grant("/demozone", "*", "read")
+        r = browser.get("/browse?path=/demozone")
+        assert r.code == 200
+
+
+class TestBrowse:
+    def test_split_window_panes_present(self, web):
+        grid, app, browser = web
+        login(browser)
+        r = browser.get("/browse?path=/demozone/home/sekar")
+        assert 'class="top-pane"' in r.text
+        assert 'class="bottom-pane"' in r.text
+
+    def test_listing_shows_objects_and_operations(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/notes.txt", b"hello",
+                            data_type="ascii text")
+        login(browser)
+        r = browser.get(f"/browse?path={grid.home}")
+        assert "notes.txt" in r.text
+        for op in ("open", "replicate", "copy", "move", "link", "delete"):
+            assert f">{op}</a>" in r.text
+
+    def test_unknown_collection_404(self, web):
+        grid, app, browser = web
+        login(browser)
+        assert browser.get("/browse?path=/demozone/ghost").code == 404
+
+    def test_forbidden_collection_403(self, web):
+        grid, app, browser = web
+        grid.admin.mkcoll("/otherzone")
+        login(browser)
+        assert browser.get("/browse?path=/otherzone").code == 403
+
+    def test_open_shows_metadata_and_content(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/open.txt", b"the content",
+                            data_type="ascii text")
+        grid.curator.add_metadata(f"{grid.home}/open.txt", "topic", "grids")
+        login(browser)
+        r = browser.get(f"/open?path={grid.home}/open.txt")
+        assert "the content" in r.text
+        assert "topic" in r.text and "grids" in r.text
+        assert "replica" in r.text
+
+
+class TestIngestFlow:
+    def test_ingest_form_has_dublin_core(self, web):
+        grid, app, browser = web
+        login(browser)
+        r = browser.get(f"/ingest?coll={grid.home}")
+        for el in ("Title", "Creator", "Subject", "Rights"):
+            assert f'name="dc:{el}"' in r.text
+
+    def test_ingest_form_shows_structural_requirements(self, web):
+        grid, app, browser = web
+        grid.curator.define_structural(
+            grid.home, "culture", vocabulary=["avian", "marine"],
+            mandatory=True, comment="required by the curator")
+        login(browser)
+        r = browser.get(f"/ingest?coll={grid.home}")
+        assert "culture *" in r.text
+        assert "<option" in r.text and "avian" in r.text
+        assert "required by the curator" in r.text
+
+    def test_post_creates_object_with_metadata(self, web):
+        grid, app, browser = web
+        login(browser)
+        browser.post("/ingest", {
+            "coll": grid.home, "name": "birds.txt",
+            "content": "ibis data", "data_type": "ascii text",
+            "resource": "unix-sdsc", "container": "(none)",
+            "dc:Title": "Bird notes",
+            "uname1": "species", "uvalue1": "ibis", "uunits1": "",
+        })
+        assert grid.curator.get(f"{grid.home}/birds.txt") == b"ibis data"
+        md = {m["attr"]: m for m in
+              grid.curator.get_metadata(f"{grid.home}/birds.txt")}
+        assert md["Title"]["meta_class"] == "type"
+        assert md["species"]["value"] == "ibis"
+
+    def test_mandatory_metadata_violation_400(self, web):
+        grid, app, browser = web
+        grid.curator.define_structural(grid.home, "curator", mandatory=True)
+        login(browser)
+        r = browser.post("/ingest", {
+            "coll": grid.home, "name": "x.txt", "content": "x",
+            "resource": "unix-sdsc", "container": "(none)"})
+        assert r.code == 400
+        assert "curator" in r.text
+
+    def test_edit_small_ascii_file(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/edit.txt", b"before",
+                            data_type="ascii text")
+        login(browser)
+        form = browser.get(f"/edit?path={grid.home}/edit.txt")
+        assert "before" in form.text
+        browser.post("/edit", {"path": f"{grid.home}/edit.txt",
+                               "content": "after"})
+        assert grid.curator.get(f"{grid.home}/edit.txt") == b"after"
+
+    def test_edit_refused_for_binary_types(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/img.fits", b"\x00\x01",
+                            data_type="fits image")
+        login(browser)
+        assert browser.get(f"/edit?path={grid.home}/img.fits").code == 400
+
+
+class TestQueryFlow:
+    def test_query_form_lists_attributes_and_operators(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/q.txt", b"x")
+        grid.curator.add_metadata(f"{grid.home}/q.txt", "species", "ibis")
+        login(browser)
+        r = browser.get(f"/query?scope={grid.home}")
+        assert "species" in r.text
+        assert "not like" in r.text
+        assert "conjunctive" in r.text
+
+    def test_query_post_returns_results(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/q1.txt", b"x")
+        grid.curator.add_metadata(f"{grid.home}/q1.txt", "species", "ibis")
+        grid.curator.ingest(f"{grid.home}/q2.txt", b"x")
+        grid.curator.add_metadata(f"{grid.home}/q2.txt", "species", "heron")
+        login(browser)
+        r = browser.post("/query", {
+            "scope": grid.home, "attr1": "species", "op1": "=",
+            "value1": "ibis", "show1": "1"})
+        assert "q1.txt" in r.text
+        assert "q2.txt" not in r.text
+        assert "1 matching SRB objects" in r.text
+
+
+class TestOperationsAndRegistration:
+    def test_mkcoll(self, web):
+        grid, app, browser = web
+        login(browser)
+        browser.post("/mkcoll", {"coll": grid.home, "name": "Avian Culture"})
+        assert grid.fed.mcat.collection_exists(f"{grid.home}/Avian Culture")
+
+    def test_replicate_via_form(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/rep.txt", b"x")
+        login(browser)
+        browser.post("/op", {"action": "replicate",
+                             "path": f"{grid.home}/rep.txt",
+                             "resource": "unix-caltech"})
+        assert len(grid.curator.stat(f"{grid.home}/rep.txt")["replicas"]) == 2
+
+    def test_delete_via_form(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/del.txt", b"x")
+        login(browser)
+        browser.post("/op", {"action": "delete",
+                             "path": f"{grid.home}/del.txt"})
+        from repro.errors import NoSuchObject
+        with pytest.raises(NoSuchObject):
+            grid.curator.stat(f"{grid.home}/del.txt")
+
+    def test_register_url_and_open_inline(self, web):
+        grid, app, browser = web
+        grid.fed.web.publish("http://museum.org/x", b"<html>inline</html>")
+        login(browser)
+        browser.post("/register/url", {"coll": grid.home, "name": "ext",
+                                       "url": "http://museum.org/x"})
+        r = browser.get(f"/open?path={grid.home}/ext")
+        assert "<html>inline</html>" in r.text      # inlineable content
+
+    def test_register_sql_and_render(self, web):
+        grid, app, browser = web
+        drv = grid.fed.resources.physical("dlib1").driver
+        t = drv.create_user_table("m", [Column("v", "TEXT")])
+        t.insert({"v": "hello-db"})
+        login(browser)
+        browser.post("/register/sql", {
+            "coll": grid.home, "name": "q", "resource": "dlib1",
+            "sql": "SELECT v FROM m", "template": "HTMLREL"})
+        r = browser.get(f"/open?path={grid.home}/q")
+        assert "hello-db" in r.text
+
+    def test_annotate_flow(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/ann.txt", b"x")
+        login(browser)
+        browser.post("/annotate", {"path": f"{grid.home}/ann.txt",
+                                   "ann_type": "comment",
+                                   "text": "lovely dataset",
+                                   "location": ""})
+        anns = grid.curator.annotations(f"{grid.home}/ann.txt")
+        assert anns[0]["text"] == "lovely dataset"
+
+    def test_metadata_insert_form(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/md.txt", b"x")
+        login(browser)
+        browser.post("/metadata", {"path": f"{grid.home}/md.txt",
+                                   "attr": "topic", "value": "grids",
+                                   "units": ""})
+        md = grid.curator.get_metadata(f"{grid.home}/md.txt")
+        assert md[0]["attr"] == "topic"
+
+    def test_help_page(self, web):
+        grid, app, browser = web
+        assert "on-line help" in browser.get("/help").text
+
+    def test_root_redirects_to_zone(self, web):
+        grid, app, browser = web
+        grid.admin.grant("/demozone", "*", "read")
+        r = browser.get("/")
+        assert r.code == 200
+        assert "Collection /demozone" in r.text
+
+
+class TestUserRegistration:
+    def test_admin_registers_user(self, web):
+        grid, app, browser = web
+        admin_browser = Browser(app)
+        admin_browser.login("srbadmin@sdsc", "hunter2")
+        form = admin_browser.get("/newuser")
+        assert form.code == 200 and "Role" in form.text
+        admin_browser.post("/newuser", {"username": "newbie@ucsd",
+                                        "password": "pw",
+                                        "role": "contributor"})
+        assert grid.fed.users.exists("newbie@ucsd")
+        assert grid.fed.users.role_of("newbie@ucsd") == "contributor"
+        # the new user can sign on to MySRB immediately (the post-login
+        # landing page may still be 403 until someone grants read access)
+        nb = Browser(app)
+        r = nb.request("POST", "/login",
+                       form={"username": "newbie@ucsd", "password": "pw"},
+                       follow_redirects=False)
+        assert r.code == 303 and nb.cookie is not None
+
+    def test_non_admin_cannot_register_users(self, web):
+        grid, app, browser = web
+        login(browser)                      # curator, not sysadmin
+        assert browser.get("/newuser").code == 403
+        assert not grid.fed.users.exists("evil@x")
+
+    def test_anonymous_cannot_register_users(self, web):
+        grid, app, browser = web
+        assert browser.get("/newuser").code == 403
+
+
+class TestContainerView:
+    def test_open_container_lists_members(self, web):
+        grid, app, browser = web
+        grid.fed.add_logical_resource("viewres", ["unix-sdsc"])
+        grid.curator.create_container(f"{grid.home}/box", "viewres")
+        grid.curator.ingest(f"{grid.home}/m1.txt", b"12345",
+                            container=f"{grid.home}/box")
+        grid.curator.ingest(f"{grid.home}/m2.txt", b"678",
+                            container=f"{grid.home}/box")
+        login(browser)
+        page = browser.get(f"/open?path={grid.home}/box")
+        assert page.code == 200
+        assert "Container members (2)" in page.text
+        assert "m1.txt" in page.text and "m2.txt" in page.text
+        assert "8 bytes total" in page.text

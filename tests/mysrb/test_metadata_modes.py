@@ -1,0 +1,131 @@
+"""Tests for MySRB's 'creative metadata' display modes (paper §5):
+inlineable URLs, related-object hot links with optional inlining, and
+file-based metadata viewing."""
+
+import pytest
+
+from repro.mysrb import Browser, MySrbApp
+from repro.workload import standard_grid
+
+
+@pytest.fixture
+def web():
+    grid = standard_grid()
+    grid.admin.grant("/demozone", "sekar@sdsc", "read")
+    app = MySrbApp(grid.fed)
+    browser = Browser(app)
+    browser.login("sekar@sdsc", "secret")
+    return grid, browser
+
+
+class TestUrlMetadata:
+    def test_plain_url_metadata_is_hotlink(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/o.txt", b"x")
+        grid.fed.web.publish("http://museum.org/ref", b"<b>ref</b>")
+        grid.curator.add_metadata(f"{grid.home}/o.txt", "reference",
+                                  "http://museum.org/ref")
+        page = browser.get(f"/open?path={grid.home}/o.txt")
+        assert "href='http://museum.org/ref'" in page.text
+        assert "<b>ref</b>" not in page.text      # not inlined
+
+    def test_inlineable_url_contents_shown(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/o2.txt", b"x")
+        grid.fed.web.publish("http://museum.org/thumb", b"<b>thumbnail</b>")
+        grid.curator.add_metadata(f"{grid.home}/o2.txt", "thumb",
+                                  "http://museum.org/thumb", units="inline")
+        page = browser.get(f"/open?path={grid.home}/o2.txt")
+        assert "<b>thumbnail</b>" in page.text    # inlined live
+
+    def test_dead_inline_url_degrades_gracefully(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/o3.txt", b"x")
+        grid.curator.add_metadata(f"{grid.home}/o3.txt", "thumb",
+                                  "http://gone.org/x", units="inline")
+        page = browser.get(f"/open?path={grid.home}/o3.txt")
+        assert page.code == 200
+        assert "unavailable" in page.text
+
+
+class TestRelatedObjects:
+    def test_srb_path_value_becomes_hotlink(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/a.txt", b"x")
+        grid.curator.ingest(f"{grid.home}/b.txt", b"y")
+        grid.curator.add_metadata(f"{grid.home}/a.txt", "related",
+                                  f"{grid.home}/b.txt")
+        page = browser.get(f"/open?path={grid.home}/a.txt")
+        assert f"/open?path={grid.home.replace('/', '%2F')}%2Fb.txt" \
+            in page.text
+
+    def test_inline_related_object_embedded(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/big.img", b"IMAGE")
+        grid.curator.ingest(f"{grid.home}/thumb.txt", b"tiny preview")
+        grid.curator.add_metadata(f"{grid.home}/big.img", "thumbnail",
+                                  f"{grid.home}/thumb.txt", units="inline")
+        page = browser.get(f"/open?path={grid.home}/big.img")
+        assert "tiny preview" in page.text
+
+
+class TestFileBasedMetadata:
+    def test_metadata_file_contents_displayed(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/obj.txt", b"x")
+        grid.curator.ingest(f"{grid.home}/obj.meta",
+                            b"site = sevilleta\nbands = 224\n")
+        grid.curator.add_metadata(f"{grid.home}/obj.txt", "metadata-file",
+                                  f"{grid.home}/obj.meta",
+                                  meta_class="file-based")
+        page = browser.get(f"/open?path={grid.home}/obj.txt")
+        assert "site = sevilleta" in page.text
+        assert "metadata file" in page.text
+
+    def test_same_file_attachable_to_many_objects(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/shared.meta", b"k = v\n")
+        for name in ("x1.txt", "x2.txt"):
+            grid.curator.ingest(f"{grid.home}/{name}", b"x")
+            grid.curator.add_metadata(f"{grid.home}/{name}", "metadata-file",
+                                      f"{grid.home}/shared.meta",
+                                      meta_class="file-based")
+            page = browser.get(f"/open?path={grid.home}/{name}")
+            assert "k = v" in page.text
+
+    def test_file_based_not_queryable(self, web):
+        """'This metadata is used only for viewing and cannot take part
+        in querying (at the current time).'"""
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/fb.txt", b"x")
+        grid.curator.ingest(f"{grid.home}/fb.meta", b"hidden = gem\n")
+        grid.curator.add_metadata(f"{grid.home}/fb.txt", "metadata-file",
+                                  f"{grid.home}/fb.meta",
+                                  meta_class="file-based")
+        from repro.mcat import Condition
+        # the triple inside the file is NOT in the catalog
+        r = grid.curator.query(grid.home, [Condition("hidden", "=", "gem")])
+        assert len(r.rows) == 0
+
+
+class TestExtractionViaForm:
+    def test_metadata_form_extract_method(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/hx.fits",
+                            b"SIMPLE  = T\nRA      = 99.9\nEND\n",
+                            data_type="fits image")
+        browser.post("/metadata", {"path": f"{grid.home}/hx.fits",
+                                   "extract_method": "fits header"})
+        md = {m["attr"]: m["value"]
+              for m in grid.curator.get_metadata(f"{grid.home}/hx.fits")}
+        assert md["RA"] == "99.9"
+
+    def test_metadata_form_copy_from(self, web):
+        grid, browser = web
+        grid.curator.ingest(f"{grid.home}/src9.txt", b"x")
+        grid.curator.ingest(f"{grid.home}/dst9.txt", b"y")
+        grid.curator.add_metadata(f"{grid.home}/src9.txt", "k", "v")
+        browser.post("/metadata", {"path": f"{grid.home}/dst9.txt",
+                                   "copy_from": f"{grid.home}/src9.txt"})
+        md = grid.curator.get_metadata(f"{grid.home}/dst9.txt")
+        assert md[0]["attr"] == "k"

@@ -1,0 +1,106 @@
+"""Unit tests for the RPC layer."""
+
+import pytest
+
+from repro.errors import NoSuchObject, RpcError, SrbError
+from repro.net.rpc import ServiceRegistry
+from repro.net.simnet import Network
+
+
+class EchoService:
+    def echo(self, text: str) -> str:
+        return text
+
+    def fail_srb(self):
+        raise NoSuchObject("nothing here")
+
+    def fail_bug(self):
+        raise ValueError("internal bug")
+
+    def _private(self):
+        return "secret"
+
+
+@pytest.fixture
+def setup():
+    net = Network()
+    net.add_host("client")
+    net.add_host("server")
+    rpc = ServiceRegistry(net)
+    rpc.register("server", "svc", EchoService())
+    return net, rpc
+
+
+class TestCall:
+    def test_roundtrip(self, setup):
+        net, rpc = setup
+        assert rpc.call("client", "server", "svc", "echo", text="hi") == "hi"
+
+    def test_charges_clock_both_ways(self, setup):
+        net, rpc = setup
+        t0 = net.clock.now
+        rpc.call("client", "server", "svc", "echo", text="hi")
+        assert net.clock.now - t0 >= 2 * net.default_link.latency_s
+
+    def test_response_size_charged(self, setup):
+        net, rpc = setup
+        rpc.call("client", "server", "svc", "echo", text="x")
+        small = net.bytes_sent
+        net2 = Network(); net2.add_host("client"); net2.add_host("server")
+        rpc2 = ServiceRegistry(net2); rpc2.register("server", "svc", EchoService())
+        rpc2.call("client", "server", "svc", "echo", text="x" * 10000)
+        assert net2.bytes_sent > small + 9000
+
+    def test_stats(self, setup):
+        _, rpc = setup
+        rpc.call("client", "server", "svc", "echo", text="hi")
+        snap = rpc.stats.snapshot()
+        assert snap["calls"] == 1
+        assert snap["request_bytes"] > 0
+        assert snap["response_bytes"] > 0
+
+
+class TestErrors:
+    def test_srb_errors_propagate_typed(self, setup):
+        _, rpc = setup
+        with pytest.raises(NoSuchObject):
+            rpc.call("client", "server", "svc", "fail_srb")
+
+    def test_non_srb_errors_wrapped(self, setup):
+        _, rpc = setup
+        with pytest.raises(RpcError):
+            rpc.call("client", "server", "svc", "fail_bug")
+
+    def test_error_response_still_charged(self, setup):
+        net, rpc = setup
+        t0 = net.clock.now
+        with pytest.raises(NoSuchObject):
+            rpc.call("client", "server", "svc", "fail_srb")
+        assert net.clock.now - t0 >= 2 * net.default_link.latency_s
+        assert rpc.stats.failures == 1
+
+    def test_unknown_service(self, setup):
+        _, rpc = setup
+        with pytest.raises(RpcError):
+            rpc.call("client", "server", "nope", "echo", text="x")
+
+    def test_unknown_method(self, setup):
+        _, rpc = setup
+        with pytest.raises(RpcError):
+            rpc.call("client", "server", "svc", "nope")
+
+    def test_private_method_blocked(self, setup):
+        _, rpc = setup
+        with pytest.raises(RpcError):
+            rpc.call("client", "server", "svc", "_private")
+
+    def test_duplicate_registration_rejected(self, setup):
+        net, rpc = setup
+        with pytest.raises(RpcError):
+            rpc.register("server", "svc", EchoService())
+
+    def test_deregister(self, setup):
+        _, rpc = setup
+        rpc.deregister("server", "svc")
+        with pytest.raises(RpcError):
+            rpc.call("client", "server", "svc", "echo", text="x")

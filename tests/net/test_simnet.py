@@ -1,0 +1,165 @@
+"""Unit tests for the simulated network."""
+
+import pytest
+
+from repro.errors import HostUnreachable, NetworkError
+from repro.net.simnet import LAN, WAN, LinkSpec, Network
+
+
+@pytest.fixture
+def net():
+    n = Network()
+    n.add_host("a")
+    n.add_host("b", site="remote")
+    return n
+
+
+class TestTopology:
+    def test_add_and_get_host(self, net):
+        assert net.host("a").name == "a"
+        assert net.host("b").site == "remote"
+
+    def test_duplicate_host_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.add_host("a")
+
+    def test_unknown_host(self, net):
+        with pytest.raises(HostUnreachable):
+            net.host("nope")
+
+    def test_default_link_used(self, net):
+        assert net.link("a", "b") == WAN
+
+    def test_loopback_link(self, net):
+        assert net.link("a", "a").latency_s < WAN.latency_s
+
+    def test_set_link_symmetric(self, net):
+        net.set_link("a", "b", LAN)
+        assert net.link("a", "b") == LAN
+        assert net.link("b", "a") == LAN
+
+    def test_set_link_asymmetric(self, net):
+        slow = LinkSpec(latency_s=1.0, bandwidth_bps=1e3)
+        net.set_link("a", "b", slow, symmetric=False)
+        assert net.link("a", "b") == slow
+        assert net.link("b", "a") == WAN
+
+
+class TestTransfer:
+    def test_latency_only_for_empty_message(self, net):
+        cost = net.transfer("a", "b", 0)
+        assert cost == pytest.approx(WAN.latency_s)
+
+    def test_bandwidth_charged(self, net):
+        nbytes = 5_000_000
+        cost = net.transfer("a", "b", nbytes)
+        assert cost == pytest.approx(WAN.latency_s + nbytes / WAN.bandwidth_bps)
+
+    def test_clock_advances(self, net):
+        t0 = net.clock.now
+        net.transfer("a", "b", 1000)
+        assert net.clock.now > t0
+
+    def test_counters(self, net):
+        net.transfer("a", "b", 10)
+        net.transfer("b", "a", 20)
+        assert net.messages_sent == 2
+        assert net.bytes_sent == 30
+
+    def test_negative_size_rejected(self, net):
+        with pytest.raises(NetworkError):
+            net.transfer("a", "b", -1)
+
+
+class TestFailures:
+    def test_down_host_unreachable(self, net):
+        net.set_down("b")
+        with pytest.raises(HostUnreachable):
+            net.transfer("a", "b", 0)
+
+    def test_failed_attempt_charges_timeout(self, net):
+        net.set_down("b")
+        t0 = net.clock.now
+        with pytest.raises(HostUnreachable):
+            net.transfer("a", "b", 0)
+        # one RTT of timeout was charged
+        assert net.clock.now - t0 == pytest.approx(2 * WAN.latency_s)
+
+    def test_recovery(self, net):
+        net.set_down("b")
+        net.set_up("b")
+        net.transfer("a", "b", 0)   # no raise
+
+    def test_partition_blocks_both_ways(self, net):
+        net.partition("a", "b")
+        with pytest.raises(HostUnreachable):
+            net.transfer("a", "b", 0)
+        with pytest.raises(HostUnreachable):
+            net.transfer("b", "a", 0)
+
+    def test_heal_partition(self, net):
+        net.partition("a", "b")
+        net.heal("a", "b")
+        net.transfer("a", "b", 0)
+
+    def test_reachable_predicate(self, net):
+        assert net.reachable("a", "b")
+        net.partition("a", "b")
+        assert not net.reachable("a", "b")
+
+
+class TestScheduledTransfers:
+    def test_queueing_on_shared_endpoint(self, net):
+        # two transfers into 'b' serialize on b
+        done1 = net.schedule_transfer("a", "b", 5_000_000)
+        done2 = net.schedule_transfer("a", "b", 5_000_000)
+        assert done2 > done1
+        assert done2 == pytest.approx(2 * done1, rel=0.01)
+
+    def test_parallel_on_distinct_endpoints(self, net):
+        net.add_host("c")
+        done1 = net.schedule_transfer("a", "b", 5_000_000)
+        net.reset_queues()
+        done2 = net.schedule_transfer("a", "c", 5_000_000)
+        assert done1 == pytest.approx(done2)
+
+    def test_does_not_advance_clock(self, net):
+        t0 = net.clock.now
+        net.schedule_transfer("a", "b", 1_000_000)
+        assert net.clock.now == t0
+
+    def test_reset_queues(self, net):
+        net.schedule_transfer("a", "b", 5_000_000)
+        net.reset_queues()
+        assert net.host("b").busy_until == 0.0
+
+
+class TestParallelStreams:
+    def test_uncapped_link_ignores_streams(self, net):
+        from repro.net.simnet import WAN
+        assert WAN.cost(1_000_000, streams=8) == WAN.cost(1_000_000)
+
+    def test_capped_link_scales_until_capacity(self):
+        from repro.net.simnet import LinkSpec
+        lfn = LinkSpec(latency_s=0.0, bandwidth_bps=10e6, per_stream_bps=1e6)
+        assert lfn.effective_bps(1) == 1e6
+        assert lfn.effective_bps(5) == 5e6
+        assert lfn.effective_bps(50) == 10e6    # capacity cap
+
+    def test_zero_streams_rejected(self):
+        from repro.net.simnet import LinkSpec, NetworkError
+        with pytest.raises(NetworkError):
+            LinkSpec().cost(10, streams=0)
+
+    def test_transfer_accepts_streams(self, net):
+        from repro.net.simnet import LinkSpec
+        net.set_link("a", "b", LinkSpec(latency_s=0.0, bandwidth_bps=8e6,
+                                        per_stream_bps=1e6))
+        slow = net.transfer("a", "b", 1_000_000, streams=1)
+        fast = net.transfer("a", "b", 1_000_000, streams=4)
+        assert slow == pytest.approx(4 * fast)
+
+    def test_latency_unaffected_by_streams(self):
+        from repro.net.simnet import LinkSpec
+        lfn = LinkSpec(latency_s=0.05, bandwidth_bps=1e6, per_stream_bps=1e5)
+        assert lfn.cost(0, streams=1) == lfn.cost(0, streams=9) == 0.05

@@ -1,0 +1,47 @@
+"""Unit tests for wire-size accounting."""
+
+from dataclasses import dataclass
+
+from hypothesis import given, strategies as st
+
+from repro.net.wire import MESSAGE_HEADER, message_size, sizeof
+
+
+class TestSizeof:
+    def test_scalars_have_fixed_cost(self):
+        assert sizeof(None) == sizeof(True)
+        assert sizeof(1) == sizeof(2**40)
+
+    def test_bytes_scale_linearly(self):
+        assert sizeof(b"x" * 100) - sizeof(b"") == 100
+
+    def test_str_counts_utf8(self):
+        assert sizeof("é") > sizeof("e") - 1   # 2 utf-8 bytes vs 1
+
+    def test_containers_sum_members(self):
+        assert sizeof([1, 2]) > sizeof([1])
+        assert sizeof({"k": "v"}) > sizeof({})
+
+    def test_dataclass_uses_dict(self):
+        @dataclass
+        class P:
+            x: int
+            label: str
+        assert sizeof(P(1, "hello")) > sizeof(P(1, ""))
+
+    def test_message_includes_header(self):
+        assert message_size(None) == MESSAGE_HEADER + sizeof(None)
+
+
+class TestSizeofProperties:
+    @given(st.binary(max_size=2000))
+    def test_payload_dominates_for_big_blobs(self, blob):
+        assert sizeof(blob) >= len(blob)
+
+    @given(st.lists(st.integers(), max_size=20))
+    def test_monotone_in_list_length(self, xs):
+        assert sizeof(xs + [0]) > sizeof(xs)
+
+    @given(st.dictionaries(st.text(max_size=5), st.integers(), max_size=10))
+    def test_dict_size_positive(self, d):
+        assert sizeof(d) > 0

@@ -1,0 +1,94 @@
+"""Edge-case tests for the archive (HSM) model: writes against
+tape-resident files, custom cost profiles, linger windows, capacity."""
+
+import pytest
+
+from repro.storage.archive import ArchiveDriver, TapeCost
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+class TestTapeResidentWrites:
+    def test_write_stages_first(self, clock):
+        arc = ArchiveDriver(clock=clock)
+        arc.create("/f", b"0123456789")
+        arc.purge_cache()
+        t0 = clock.now
+        arc.write("/f", b"XX", offset=2)
+        assert clock.now - t0 >= arc.tape_cost.tape_mount_s  # staged
+        assert arc.read("/f") == b"01XX456789"
+
+    def test_append_stages_first(self, clock):
+        arc = ArchiveDriver(clock=clock)
+        arc.create("/f", b"ab")
+        arc.purge_cache()
+        arc.append("/f", b"cd")
+        assert arc.stages == 1
+        arc.purge_cache()
+        assert arc.read("/f") == b"abcd"
+
+    def test_write_migrates_to_tape(self, clock):
+        arc = ArchiveDriver(clock=clock)
+        arc.create("/f", b"old")
+        arc.write("/f", b"new", offset=0)
+        arc.purge_cache()               # drop the cache copy
+        assert arc.read("/f") == b"new"  # tape had the update
+
+
+class TestCostProfiles:
+    def test_custom_tape_cost_respected(self, clock):
+        fast = TapeCost(tape_mount_s=1.0, tape_seek_s=0.1, tape_bps=100e6,
+                        mount_linger_s=5.0)
+        arc = ArchiveDriver(clock=clock, tape=fast)
+        arc.create("/f", b"x" * 1000)
+        arc.purge_cache()
+        t0 = clock.now
+        arc.read("/f")
+        assert clock.now - t0 == pytest.approx(
+            1.0 + 0.1 + 1000 / 100e6 + arc.cost.read_cost(1000), rel=0.01)
+
+    def test_streaming_cost_scales_with_size(self, clock):
+        arc = ArchiveDriver(clock=clock)
+        arc.create("/small", b"x" * 1000)
+        arc.create("/big", b"x" * 50_000_000)
+        arc.purge_cache()
+        t0 = clock.now
+        arc.read("/small")
+        small_cost = clock.now - t0
+        clock.advance(arc.tape_cost.mount_linger_s + 1)   # mount expires
+        t0 = clock.now
+        arc.read("/big")                # same fixed costs + real streaming
+        big_cost = clock.now - t0
+        assert big_cost > small_cost
+        streaming = 50_000_000 / arc.tape_cost.tape_bps
+        assert big_cost - small_cost == pytest.approx(streaming, rel=0.5)
+
+    def test_linger_window_boundary(self, clock):
+        arc = ArchiveDriver(clock=clock)
+        arc.create("/a", b"x")
+        arc.create("/b", b"x")
+        arc.purge_cache()
+        arc.read("/a")
+        clock.advance(arc.tape_cost.mount_linger_s - 1.0)
+        arc.read("/b")                  # just inside: no new mount
+        assert arc.tape_mounts == 1
+
+
+class TestRangedReadsFromCache:
+    def test_member_style_ranged_read(self, clock):
+        """Container members read slices; only the slice is charged after
+        the stage."""
+        arc = ArchiveDriver(clock=clock)
+        arc.create("/cont", b"".join(bytes([i]) * 100 for i in range(10)))
+        arc.purge_cache()
+        first = arc.read("/cont", 0, 100)      # stages whole container
+        assert first == bytes([0]) * 100
+        stages = arc.stages
+        for i in range(1, 10):
+            data = arc.read("/cont", i * 100, 100)
+            assert data == bytes([i]) * 100
+        assert arc.stages == stages            # all served from cache

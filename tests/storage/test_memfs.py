@@ -1,0 +1,152 @@
+"""Unit + property tests for the in-memory FS driver."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlreadyExists, NoSuchPhysicalFile, StorageError, StorageFull
+from repro.storage.memfs import MemFsDriver
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def fs():
+    return MemFsDriver()
+
+
+class TestCrud:
+    def test_create_read(self, fs):
+        fs.create("/a/b.txt", b"hello")
+        assert fs.read("/a/b.txt") == b"hello"
+
+    def test_create_duplicate_rejected(self, fs):
+        fs.create("/x", b"")
+        with pytest.raises(AlreadyExists):
+            fs.create("/x", b"")
+
+    def test_read_missing(self, fs):
+        with pytest.raises(NoSuchPhysicalFile):
+            fs.read("/nope")
+
+    def test_ranged_read(self, fs):
+        fs.create("/f", b"0123456789")
+        assert fs.read("/f", 2, 3) == b"234"
+
+    def test_read_past_eof_truncates(self, fs):
+        fs.create("/f", b"abc")
+        assert fs.read("/f", 1, 100) == b"bc"
+
+    def test_read_bad_offset(self, fs):
+        fs.create("/f", b"abc")
+        with pytest.raises(StorageError):
+            fs.read("/f", 10)
+
+    def test_write_in_place(self, fs):
+        fs.create("/f", b"aaaa")
+        fs.write("/f", b"bb", offset=1)
+        assert fs.read("/f") == b"abba"
+
+    def test_write_extends(self, fs):
+        fs.create("/f", b"ab")
+        fs.write("/f", b"cd", offset=2)
+        assert fs.read("/f") == b"abcd"
+
+    def test_append(self, fs):
+        fs.create("/f", b"ab")
+        fs.append("/f", b"cd")
+        assert fs.read("/f") == b"abcd"
+
+    def test_delete(self, fs):
+        fs.create("/f", b"x")
+        fs.delete("/f")
+        assert not fs.exists("/f")
+
+    def test_size(self, fs):
+        fs.create("/f", b"abc")
+        assert fs.size("/f") == 3
+
+    def test_path_normalization(self, fs):
+        fs.create("a//b", b"x")
+        assert fs.exists("/a/b")
+
+    def test_dotdot_rejected(self, fs):
+        with pytest.raises(StorageError):
+            fs.create("/a/../b", b"")
+
+
+class TestListing:
+    def test_list_dir_files_and_subdirs(self, fs):
+        fs.create("/d/a.txt", b"")
+        fs.create("/d/sub/b.txt", b"")
+        assert fs.list_dir("/d") == ["a.txt", "sub/"]
+
+    def test_list_root(self, fs):
+        fs.create("/top.txt", b"")
+        assert fs.list_dir("/") == ["top.txt"]
+
+    def test_list_empty_dir(self, fs):
+        assert fs.list_dir("/nothing") == []
+
+
+class TestAccounting:
+    def test_clock_charged_proportionally(self):
+        clock = SimClock()
+        fs = MemFsDriver(clock=clock)
+        fs.create("/small", b"x")
+        t_small = clock.now
+        fs.create("/big", b"x" * 10_000_000)
+        assert clock.now - t_small > t_small
+
+    def test_counters(self, fs):
+        fs.create("/f", b"abcd")
+        fs.read("/f")
+        assert fs.bytes_written == 4
+        assert fs.bytes_read == 4
+        assert fs.ops == 2
+
+    def test_used_bytes(self, fs):
+        fs.create("/a", b"ab")
+        fs.create("/b", b"cde")
+        assert fs.used_bytes() == 5
+
+    def test_capacity_enforced(self):
+        fs = MemFsDriver(capacity_bytes=10)
+        fs.create("/a", b"x" * 8)
+        with pytest.raises(StorageFull):
+            fs.create("/b", b"x" * 8)
+
+    def test_capacity_on_append(self):
+        fs = MemFsDriver(capacity_bytes=10)
+        fs.create("/a", b"x" * 8)
+        with pytest.raises(StorageFull):
+            fs.append("/a", b"x" * 8)
+
+
+class TestProperties:
+    @given(st.binary(max_size=500), st.binary(max_size=500))
+    def test_append_is_concat(self, a, b):
+        fs = MemFsDriver()
+        fs.create("/f", a)
+        fs.append("/f", b)
+        assert fs.read("/f") == a + b
+
+    @given(st.binary(min_size=1, max_size=300),
+           st.integers(min_value=0, max_value=299),
+           st.integers(min_value=0, max_value=300))
+    def test_ranged_read_matches_slicing(self, data, offset, length):
+        fs = MemFsDriver()
+        fs.create("/f", data)
+        if offset <= len(data):
+            assert fs.read("/f", offset, length) == data[offset:offset + length]
+
+    @given(st.binary(max_size=200), st.binary(max_size=50),
+           st.integers(min_value=0, max_value=200))
+    def test_write_matches_patching(self, base, patch, offset):
+        fs = MemFsDriver()
+        fs.create("/f", base)
+        if offset <= len(base):
+            fs.write("/f", patch, offset)
+            expected = bytearray(base)
+            grow = max(0, offset + len(patch) - len(base))
+            expected.extend(b"\x00" * grow)
+            expected[offset:offset + len(patch)] = patch
+            assert fs.read("/f") == bytes(expected)

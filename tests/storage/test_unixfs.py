@@ -1,0 +1,74 @@
+"""Unit tests for the POSIX-backed driver."""
+
+import pytest
+
+from repro.errors import AlreadyExists, NoSuchPhysicalFile, StorageError
+from repro.storage.unixfs import UnixFsDriver
+
+
+@pytest.fixture
+def fs(tmp_path):
+    return UnixFsDriver(root=str(tmp_path / "res"))
+
+
+class TestCrud:
+    def test_create_read(self, fs):
+        fs.create("/a/b.txt", b"hello")
+        assert fs.read("/a/b.txt") == b"hello"
+
+    def test_file_lands_on_disk(self, fs, tmp_path):
+        fs.create("/a/b.txt", b"hello")
+        assert (tmp_path / "res" / "a" / "b.txt").read_bytes() == b"hello"
+
+    def test_duplicate(self, fs):
+        fs.create("/x", b"")
+        with pytest.raises(AlreadyExists):
+            fs.create("/x", b"")
+
+    def test_missing(self, fs):
+        with pytest.raises(NoSuchPhysicalFile):
+            fs.read("/nope")
+
+    def test_ranged_read(self, fs):
+        fs.create("/f", b"0123456789")
+        assert fs.read("/f", 2, 3) == b"234"
+
+    def test_write_and_append(self, fs):
+        fs.create("/f", b"aaaa")
+        fs.write("/f", b"bb", offset=1)
+        fs.append("/f", b"cc")
+        assert fs.read("/f") == b"abbacc"
+
+    def test_write_past_eof_rejected(self, fs):
+        fs.create("/f", b"ab")
+        with pytest.raises(StorageError):
+            fs.write("/f", b"x", offset=10)
+
+    def test_delete(self, fs):
+        fs.create("/f", b"x")
+        fs.delete("/f")
+        assert not fs.exists("/f")
+
+    def test_size(self, fs):
+        fs.create("/f", b"abc")
+        assert fs.size("/f") == 3
+
+    def test_list_dir(self, fs):
+        fs.create("/d/a.txt", b"")
+        fs.create("/d/sub/b.txt", b"")
+        assert fs.list_dir("/d") == ["a.txt", "sub/"]
+
+    def test_escape_attempt_rejected(self, fs):
+        with pytest.raises(StorageError):
+            fs.create("/../../etc/passwd", b"")
+
+    def test_used_bytes(self, fs):
+        fs.create("/a", b"ab")
+        fs.create("/d/b", b"cde")
+        assert fs.used_bytes() == 5
+
+    def test_wipe(self, fs):
+        fs.create("/a", b"x")
+        fs.wipe()
+        assert not fs.exists("/a")
+        fs.create("/a", b"y")   # usable after wipe

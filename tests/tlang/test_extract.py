@@ -1,0 +1,96 @@
+"""Unit tests for T-language extraction programs."""
+
+import pytest
+
+from repro.errors import TLangError
+from repro.tlang.extract import ExtractionProgram, Triple
+
+
+class TestParsing:
+    def test_empty_program_rejected(self):
+        with pytest.raises(TLangError):
+            ExtractionProgram("# only comments\n\n")
+
+    def test_bad_rule_rejected(self):
+        with pytest.raises(TLangError):
+            ExtractionProgram("FROB /x/ -> 'a' = 'b'")
+
+    def test_bad_regex_rejected(self):
+        with pytest.raises(TLangError):
+            ExtractionProgram("EXTRACT /([unclosed/ -> 'a' = 'b'")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(TLangError):
+            ExtractionProgram("EXTRACT /x/ -> 'a' 'b'")
+
+    def test_bad_expression_rejected(self):
+        with pytest.raises(TLangError):
+            ExtractionProgram("EXTRACT /x/ -> 'a' = unquoted")
+
+    def test_comments_and_blanks_skipped(self):
+        p = ExtractionProgram("# header\n\nEXTRACT /x/ -> 'k' = 'v'\n")
+        assert len(p.rules) == 1
+
+
+class TestExtraction:
+    def test_whole_document_finditer(self):
+        p = ExtractionProgram(r"EXTRACT /<t>(?P<v>\w+)<\/t>/ -> 'tag' = $v")
+        triples = p.run("<t>a</t><t>b</t>")
+        assert [t.value for t in triples] == ["a", "b"]
+
+    def test_per_line_mode(self):
+        p = ExtractionProgram(
+            r"EXTRACT LINES /^(?P<k>\w+): (?P<v>.+)$/ -> $k = $v")
+        triples = p.run("alpha: 1\nbeta: 2\n")
+        assert triples == [Triple("alpha", "1"), Triple("beta", "2")]
+
+    def test_per_line_one_match_per_line(self):
+        p = ExtractionProgram(r"EXTRACT LINES /(?P<v>\d+)/ -> 'n' = $v")
+        # two numbers on one line: LINES mode takes the first per line
+        assert len(p.run("1 2\n3\n")) == 2
+
+    def test_numbered_groups(self):
+        p = ExtractionProgram(r"EXTRACT /(\w+)=(\w+)/ -> $1 = $2")
+        assert p.run("key=value") == [Triple("key", "value")]
+
+    def test_literal_concatenation(self):
+        p = ExtractionProgram(
+            r"EXTRACT /(?P<v>\d+)/ -> 'prefix-' + $v = 'val:' + $v")
+        assert p.run("42") == [Triple("prefix-42", "val:42")]
+
+    def test_units_clause(self):
+        p = ExtractionProgram(
+            r"EXTRACT /(?P<k>\w+)=(?P<v>[\d.]+)(?P<u>\w*)/ -> $k = $v UNITS $u")
+        t = p.run("wingspan=1.2m")[0]
+        assert (t.attr, t.value, t.units) == ("wingspan", "1.2", "m")
+
+    def test_empty_units_become_none(self):
+        p = ExtractionProgram(
+            r"EXTRACT /(?P<k>\w+)=(?P<v>\d+)/ -> $k = $v UNITS ''")
+        assert p.run("a=1")[0].units is None
+
+    def test_empty_attr_skipped(self):
+        p = ExtractionProgram(r"EXTRACT /(?P<k>\w*)x/ -> $k = 'v'")
+        assert p.run("x") == []     # group matched empty -> attr empty
+
+    def test_values_stripped(self):
+        p = ExtractionProgram(r"EXTRACT LINES /^(?P<k>\w+)= (?P<v>.*)$/ -> $k = $v")
+        assert p.run("a=  spaced  ")[0].value == "spaced"
+
+    def test_bytes_input_decoded(self):
+        p = ExtractionProgram(r"EXTRACT /(?P<v>\w+)/ -> 'w' = $v")
+        assert p.run(b"hello")[0].value == "hello"
+
+    def test_unknown_group_raises(self):
+        p = ExtractionProgram(r"EXTRACT /x/ -> 'k' = $nope")
+        with pytest.raises(TLangError):
+            p.run("x")
+
+    def test_multiple_rules_concatenate(self):
+        p = ExtractionProgram(
+            "EXTRACT /a/ -> 'saw' = 'a'\nEXTRACT /b/ -> 'saw' = 'b'\n")
+        assert [t.value for t in p.run("ab")] == ["a", "b"]
+
+    def test_escaped_slash_in_regex(self):
+        p = ExtractionProgram(r"EXTRACT /(?P<v>\w+)\/(?P<w>\w+)/ -> $v = $w")
+        assert p.run("a/b") == [Triple("a", "b")]

@@ -1,0 +1,168 @@
+"""Unit tests for T-language style sheets and the three built-ins."""
+
+import re
+
+import pytest
+
+from repro.errors import TLangError
+from repro.tlang.template import BUILTIN_TEMPLATES, StyleSheet, builtin
+
+
+class TestParsing:
+    def test_unknown_directive(self):
+        with pytest.raises(TLangError):
+            StyleSheet("FROBNICATE 'x'")
+
+    def test_duplicate_directive(self):
+        with pytest.raises(TLangError):
+            StyleSheet("HEADER 'a'\nHEADER 'b'")
+
+    def test_unquoted_arg_rejected(self):
+        with pytest.raises(TLangError):
+            StyleSheet("HEADER unquoted")
+
+    def test_bad_escape_mode(self):
+        with pytest.raises(TLangError):
+            StyleSheet("ESCAPE rot13")
+
+    def test_groupby_needs_number(self):
+        with pytest.raises(TLangError):
+            StyleSheet("GROUPBY first")
+
+    def test_groupby_one_based(self):
+        with pytest.raises(TLangError):
+            StyleSheet("GROUPBY 0")
+
+    def test_escaped_quote_in_string(self):
+        s = StyleSheet(r"HEADER 'it\'s'")
+        assert s.header == "it's"
+
+    def test_newline_escape(self):
+        s = StyleSheet(r"ROW 'a\nb'")
+        assert s.row == "a\nb"
+
+
+class TestRendering:
+    def test_flat_rendering(self):
+        s = StyleSheet("HEADER '['\nROW '('\nCELL '${value},'\n"
+                       "ROWEND ')'\nFOOTER ']'")
+        assert s.render(["a"], [(1,), (2,)]) == "[(1,)(2,)]"
+
+    def test_colhead_substitution(self):
+        s = StyleSheet("COLHEAD '<${name}>'")
+        assert s.render(["x", "y"], []) == "<x><y>"
+
+    def test_colN_substitution(self):
+        s = StyleSheet("ROW '${col2}/${col1};'")
+        assert s.render(["a", "b"], [(1, 2)]) == "2/1;"
+
+    def test_null_renders_empty(self):
+        s = StyleSheet("CELL '[${value}]'")
+        assert s.render(["a"], [(None,)]) == "[]"
+
+    def test_unknown_substitution_raises(self):
+        s = StyleSheet("CELL '${nope}'")
+        with pytest.raises(TLangError):
+            s.render(["a"], [(1,)])
+
+    def test_out_of_range_col_raises(self):
+        s = StyleSheet("ROW '${col9}'")
+        with pytest.raises(TLangError):
+            s.render(["a"], [(1,)])
+
+    def test_html_escaping(self):
+        s = StyleSheet("ESCAPE html\nCELL '${value}'")
+        assert s.render(["a"], [("<b>&",)]) == "&lt;b&gt;&amp;"
+
+    def test_no_escaping_mode(self):
+        s = StyleSheet("CELL '${value}'")
+        assert s.render(["a"], [("<b>",)]) == "<b>"
+
+    def test_groupby_clusters_consecutive(self):
+        s = StyleSheet("GROUPBY 1\nROW '[${col1}:'\nCELL '${value}'\n"
+                       "ROWEND ']'")
+        out = s.render(["g", "v"], [("a", 1), ("a", 2), ("b", 3)])
+        assert out == "[a:12][b:3]"
+
+    def test_groupby_out_of_range(self):
+        s = StyleSheet("GROUPBY 5\nROW 'x'")
+        with pytest.raises(TLangError):
+            s.render(["a"], [(1,)])
+
+    def test_empty_rows(self):
+        s = StyleSheet("HEADER 'h'\nFOOTER 'f'")
+        assert s.render(["a"], []) == "hf"
+
+
+class TestBuiltins:
+    def test_three_builtins_exist(self):
+        assert set(BUILTIN_TEMPLATES) == {"HTMLREL", "HTMLNEST", "XMLREL"}
+
+    def test_lookup_case_insensitive(self):
+        assert builtin("htmlrel").escape == "html"
+
+    def test_unknown_builtin(self):
+        with pytest.raises(TLangError):
+            builtin("JSONREL")
+
+    def test_htmlrel_is_relational_table(self):
+        out = builtin("HTMLREL").render(["name", "mag"],
+                                        [("Vega", 0.03), ("Sirius", -1.46)])
+        assert out.count("<tr>") == 3          # header + 2 rows
+        assert "<th>name</th>" in out
+        assert "<td>Vega</td>" in out
+
+    def test_htmlrel_escapes_content(self):
+        out = builtin("HTMLREL").render(["x"], [("<script>",)])
+        assert "<script>" not in out
+
+    def test_htmlnest_groups_by_first_column(self):
+        out = builtin("HTMLNEST").render(
+            ["grp", "v"], [("a", 1), ("a", 2), ("b", 3)])
+        assert out.count("<td>a</td>") == 1    # group key once
+        assert "<table>" in out
+
+    def test_xmlrel_well_formed(self):
+        out = builtin("XMLREL").render(["x", "y"], [("1&2", None)])
+        assert out.startswith("<?xml")
+        assert "&amp;" in out
+        # crude well-formedness: every open has a close
+        for tag in ("resultset", "row", "field"):
+            assert out.count(f"<{tag}>") == out.count(f"</{tag}>")
+
+    def test_xmlrel_parses_with_stdlib(self):
+        import xml.etree.ElementTree as ET
+        out = builtin("XMLREL").render(["a"], [("v1",), ("v2",)])
+        root = ET.fromstring(out)
+        assert root.tag == "resultset"
+        assert [f.text for f in root.iter("field")] == ["v1", "v2"]
+
+
+class TestEscapingProperties:
+    from hypothesis import given, strategies as st
+
+    @given(st.text(max_size=40))
+    def test_html_escaped_output_has_no_raw_specials(self, value):
+        from hypothesis import assume
+        s = StyleSheet("ESCAPE html\nCELL '${value}'")
+        out = s.render(["c"], [(value,)])
+        import re as _re
+        # no raw < > & outside entities survive escaping
+        stripped = _re.sub(r"&(lt|gt|amp|quot|#x27);", "", out)
+        assert "<" not in stripped and ">" not in stripped
+        assert "&" not in stripped
+
+    @given(st.lists(st.text(max_size=20), min_size=1, max_size=5))
+    def test_xmlrel_always_parses(self, values):
+        import xml.etree.ElementTree as ET
+        out = builtin("XMLREL").render(["v"], [(v,) for v in values])
+        root = ET.fromstring(out)
+        fields = [f.text if f.text is not None else "" for f in
+                  root.iter("field")]
+        assert len(fields) == len(values)
+
+    @given(st.lists(st.tuples(st.text(max_size=10), st.integers(-5, 5)),
+                    min_size=0, max_size=8))
+    def test_htmlrel_row_count_matches_input(self, rows):
+        out = builtin("HTMLREL").render(["a", "b"], rows)
+        assert out.count("<tr>") == len(rows) + 1

@@ -1,0 +1,147 @@
+"""Unit + property tests for the logical path algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidPath
+from repro.util import paths
+
+
+class TestSplitJoin:
+    def test_split_simple(self):
+        assert paths.split("/zone/home/x") == ("zone", "home", "x")
+
+    def test_split_root(self):
+        assert paths.split("/") == ()
+
+    def test_split_requires_absolute(self):
+        with pytest.raises(InvalidPath):
+            paths.split("zone/home")
+
+    def test_component_with_space_allowed(self):
+        # collection names in the paper contain spaces ("Avian Culture")
+        assert paths.split("/z/Avian Culture") == ("z", "Avian Culture")
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(InvalidPath):
+            paths.split("/z//x")
+
+    def test_dotdot_rejected(self):
+        with pytest.raises(InvalidPath):
+            paths.split("/z/../x")
+
+    def test_leading_space_component_rejected(self):
+        with pytest.raises(InvalidPath):
+            paths.validate_component(" name")
+
+    def test_join_from_absolute(self):
+        assert paths.join("/z/a", "b", "c") == "/z/a/b/c"
+
+    def test_join_with_fragments(self):
+        assert paths.join("/z", "a/b") == "/z/a/b"
+
+    def test_from_components_root(self):
+        assert paths.from_components([]) == "/"
+
+
+class TestDirnameBasename:
+    def test_dirname(self):
+        assert paths.dirname("/z/a/b") == "/z/a"
+
+    def test_dirname_of_toplevel(self):
+        assert paths.dirname("/z") == "/"
+
+    def test_dirname_of_root_fails(self):
+        with pytest.raises(InvalidPath):
+            paths.dirname("/")
+
+    def test_basename(self):
+        assert paths.basename("/z/a/b.txt") == "b.txt"
+
+    def test_zone_of(self):
+        assert paths.zone_of("/demozone/home/x") == "demozone"
+
+
+class TestAncestors:
+    def test_ancestors_list(self):
+        assert paths.ancestors("/z/a/b") == ["/", "/z", "/z/a"]
+
+    def test_root_has_no_ancestors(self):
+        assert paths.ancestors("/") == []
+
+    def test_is_ancestor_true(self):
+        assert paths.is_ancestor("/z/a", "/z/a/b/c")
+
+    def test_is_ancestor_strict(self):
+        assert not paths.is_ancestor("/z/a", "/z/a")
+
+    def test_is_ancestor_no_prefix_confusion(self):
+        # "/z/ab" is NOT under "/z/a"
+        assert not paths.is_ancestor("/z/a", "/z/ab")
+
+    def test_root_is_ancestor_of_all(self):
+        assert paths.is_ancestor("/", "/z")
+
+    def test_depth(self):
+        assert paths.depth("/") == 0
+        assert paths.depth("/z/a/b") == 3
+
+
+class TestRelocate:
+    def test_relocate_moves_suffix(self):
+        assert paths.relocate("/z/a/b/c", "/z/a", "/y/q") == "/y/q/b/c"
+
+    def test_relocate_exact_prefix(self):
+        assert paths.relocate("/z/a", "/z/a", "/y") == "/y"
+
+    def test_relocate_requires_prefix(self):
+        with pytest.raises(InvalidPath):
+            paths.relocate("/z/other", "/z/a", "/y")
+
+
+# -- property-based invariants ----------------------------------------------
+
+component = st.text(
+    alphabet=st.characters(blacklist_characters="/\x00",
+                           blacklist_categories=("Cs",)),
+    min_size=1, max_size=12,
+).filter(lambda s: s == s.strip() and s not in (".", ".."))
+
+logical_path = st.lists(component, min_size=1, max_size=6).map(
+    paths.from_components)
+
+
+class TestProperties:
+    @given(logical_path)
+    def test_join_dirname_basename_roundtrip(self, p):
+        assert paths.join(paths.dirname(p), paths.basename(p)) == p
+
+    @given(logical_path)
+    def test_normalize_idempotent(self, p):
+        assert paths.normalize(paths.normalize(p)) == paths.normalize(p)
+
+    @given(logical_path)
+    def test_split_from_components_roundtrip(self, p):
+        assert paths.from_components(paths.split(p)) == p
+
+    @given(logical_path)
+    def test_ancestors_are_exactly_strict_prefixes(self, p):
+        ancs = paths.ancestors(p)
+        assert len(ancs) == paths.depth(p)
+        for a in ancs:
+            if a != "/":
+                assert paths.is_ancestor(a, p)
+        assert not paths.is_ancestor(p, p)
+
+    @given(logical_path, component)
+    def test_child_is_descendant(self, p, name):
+        child = paths.join(p, name)
+        assert paths.is_ancestor(p, child)
+        assert paths.dirname(child) == p
+
+    @given(logical_path, logical_path)
+    def test_relocate_composes(self, p, q):
+        # relocating p -> q -> p is identity for any descendant
+        child = paths.join(p, "leaf")
+        moved = paths.relocate(child, p, q)
+        assert paths.relocate(moved, q, p) == child
