@@ -16,6 +16,7 @@ until no replica is reachable.
 import pytest
 
 from repro.bench import ResultTable
+from repro.bench.harness import timed
 from repro.core import SrbClient
 from repro.errors import ReplicaUnavailable
 from repro.net.simnet import WAN
@@ -34,24 +35,36 @@ def build():
     return fed, client
 
 
-def timed_get(fed, client):
-    t0 = fed.clock.now
-    data = client.get(PATH)
-    assert data.startswith(b"irreplaceable")
-    return fed.clock.now - t0
+def timed_get(fed, client, expect_error=None):
+    """One read as a Measurement with its metrics delta attached."""
+    def go():
+        if expect_error is not None:
+            with pytest.raises(expect_error):
+                client.get(PATH)
+        else:
+            assert client.get(PATH).startswith(b"irreplaceable")
+    return timed(fed.clock, go, metrics=fed.obs.metrics)
+
+
+def _row(table, scenario, m, outcome):
+    table.add_row([scenario, m.virtual_s,
+                   int(m.metric("net.messages")),
+                   int(m.metric("net.failed_attempts")), outcome])
 
 
 def test_e2_failover_latency(benchmark):
     fed, client = build()
-    table = ResultTable("E2 replica failover",
-                        ["scenario", "read latency (s)", "outcome"])
+    table = ResultTable(
+        "E2 replica failover",
+        ["scenario", "read latency (s)", "messages", "failed attempts",
+         "outcome"])
 
     healthy = timed_get(fed, client)
-    table.add_row(["all replicas up", healthy, "ok (replica 1)"])
+    _row(table, "all replicas up", healthy, "ok (replica 1)")
 
     fed.network.set_down("h1")       # note: primary fs0 is on h0 with server
     one_down_unused = timed_get(fed, client)
-    table.add_row(["non-primary host down", one_down_unused, "ok (replica 1)"])
+    _row(table, "non-primary host down", one_down_unused, "ok (replica 1)")
     fed.network.set_up("h1")
 
     # the interesting case: kill the PRIMARY replica's host.  fs0 is on h0,
@@ -61,29 +74,29 @@ def test_e2_failover_latency(benchmark):
     client2 = admin_client(fed2)
     client2.ingest(PATH, b"irreplaceable" * 100, resource="fs1")
     client2.replicate(PATH, "fs2")
-    t0 = fed2.clock.now
-    client2.get(PATH)
-    healthy2 = fed2.clock.now - t0
+    healthy2 = timed_get(fed2, client2)
 
     fed2.network.set_down("h1")
-    t0 = fed2.clock.now
-    client2.get(PATH)                 # redirects to fs2
-    failover1 = fed2.clock.now - t0
-    table.add_row(["primary host down", failover1, "ok (redirected)"])
+    failover1 = timed_get(fed2, client2)   # redirects to fs2
+    _row(table, "primary host down", failover1, "ok (redirected)")
 
     fed2.network.set_down("h2")
-    t0 = fed2.clock.now
-    with pytest.raises(ReplicaUnavailable):
-        client2.get(PATH)
-    exhausted = fed2.clock.now - t0
-    table.add_row(["all replica hosts down", exhausted,
-                   "ReplicaUnavailable"])
+    exhausted = timed_get(fed2, client2, expect_error=ReplicaUnavailable)
+    _row(table, "all replica hosts down", exhausted, "ReplicaUnavailable")
     record_table(benchmark, table)
+
+    # the metrics explain the latency: healthy reads waste no attempts,
+    # each failover adds them, and they are what the extra seconds buy
+    assert healthy.metric("net.failed_attempts") == 0
+    assert failover1.metric("net.failed_attempts") >= 1
+    assert (exhausted.metric("net.failed_attempts")
+            > failover1.metric("net.failed_attempts"))
 
     # shape: one failed attempt costs about one timeout (2 x latency) more
     timeout = 2 * WAN.latency_s
-    assert failover1 > healthy2
-    assert failover1 - healthy2 == pytest.approx(timeout, rel=0.5)
+    assert failover1.virtual_s > healthy2.virtual_s
+    assert (failover1.virtual_s - healthy2.virtual_s
+            == pytest.approx(timeout, rel=0.5))
 
     fed3, client3 = build()
     benchmark.pedantic(lambda: client3.get(PATH), rounds=3, iterations=1)

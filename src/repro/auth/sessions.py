@@ -55,8 +55,10 @@ class SessionManager:
         self._sessions[key] = sess
         return sess
 
-    def validate(self, key: str) -> Session:
-        """Security checks run on every MySRB request."""
+    def check(self, key: str) -> Session:
+        """Security checks alone — no request accounting.  Internal
+        bookkeeping (sliding renewal, status pages) uses this so only
+        real user requests move ``requests_served``."""
         if not isinstance(key, str) or not key.startswith("sk-"):
             raise AuthError(f"malformed session key {key!r}")
         sess = self._sessions.get(key)
@@ -67,6 +69,11 @@ class SessionManager:
             raise SessionExpired(
                 f"session for {sess.principal} expired after "
                 f"{self.lifetime_s / 60:.0f} minutes")
+        return sess
+
+    def validate(self, key: str) -> Session:
+        """Security checks run on every MySRB request."""
+        sess = self.check(key)
         sess.requests_served += 1
         return sess
 
@@ -76,7 +83,7 @@ class SessionManager:
     def touch(self, key: str) -> None:
         """Sliding renewal (not in the paper's description; off by default
         in MySRB, available for deployments that want it)."""
-        sess = self.validate(key)
+        sess = self.check(key)
         sess.expires_at = self.clock.now + self.lifetime_s
 
     def active_count(self) -> int:

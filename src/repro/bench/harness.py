@@ -18,19 +18,40 @@ from repro.util.clock import SimClock
 
 @dataclass
 class Measurement:
-    """One timed region of virtual time (plus optional counters)."""
+    """One timed region of virtual time (plus optional counters).
+
+    ``metrics`` holds what the grid's metrics registry counted *during*
+    the region (a :meth:`MetricsRegistry.delta` dict), so tables can
+    print explanatory columns — messages, rows scanned — next to the
+    virtual seconds they explain.
+    """
 
     label: str
     virtual_s: float
     extra: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def metric(self, name: str) -> float:
+        """Sum of one metric across label sets in this region."""
+        return sum(v for k, v in self.metrics.items()
+                   if k == name or k.startswith(name + "{"))
 
 
 def timed(clock: SimClock, fn: Callable[[], Any],
-          label: str = "") -> Measurement:
-    """Run ``fn`` and measure the virtual time it consumed."""
+          label: str = "", metrics: Any = None) -> Measurement:
+    """Run ``fn`` and measure the virtual time it consumed.
+
+    Pass a :class:`~repro.obs.metrics.MetricsRegistry` (e.g.
+    ``fed.obs.metrics``) as ``metrics`` to also capture the counter
+    deltas for the region.
+    """
+    before = metrics.snapshot() if metrics is not None else None
     t0 = clock.now
     fn()
-    return Measurement(label=label, virtual_s=clock.now - t0)
+    m = Measurement(label=label, virtual_s=clock.now - t0)
+    if before is not None:
+        m.metrics = metrics.delta(before)
+    return m
 
 
 class ResultTable:

@@ -65,10 +65,14 @@ class Federation:
             self.clock = SimClock()
             self.network = Network(clock=self.clock,
                                    default_link=default_link)
+        # the shared observability pipeline (tracer + metrics) lives on
+        # the network, so federated zones report into one place
+        self.obs = self.network.obs
         self.ids = IdFactory()
         self.rpc = ServiceRegistry(self.network)
         self.peers: Dict[str, "Federation"] = {}
-        self.mcat = Mcat(zone=zone, clock=self.clock, ids=self.ids)
+        self.mcat = Mcat(zone=zone, clock=self.clock, ids=self.ids,
+                         obs=self.obs)
         self.users = UserRegistry()
         self.authority = TicketAuthority(zone, zone_key=f"zone-key-{zone}",
                                          clock=self.clock)
@@ -141,6 +145,7 @@ class Federation:
                         is_cache: bool = False) -> PhysicalResource:
         driver = MemFsDriver(clock=self._clock_for_drivers(), cost=cost,
                              capacity_bytes=capacity_bytes)
+        driver.attach_obs(self.obs, name)
         return self.resources.add_physical(PhysicalResource(
             name=name, host=host, driver=driver, rtype="unixfs",
             zone=self.zone, is_cache=is_cache))
@@ -151,6 +156,7 @@ class Federation:
                              ) -> PhysicalResource:
         driver = ArchiveDriver(clock=self._clock_for_drivers(), tape=tape,
                                cache_capacity_bytes=cache_capacity_bytes)
+        driver.attach_obs(self.obs, name)
         return self.resources.add_physical(PhysicalResource(
             name=name, host=host, driver=driver, rtype="archive",
             zone=self.zone))
@@ -158,6 +164,7 @@ class Federation:
     def add_database_resource(self, name: str, host: str) -> PhysicalResource:
         driver = DatabaseResourceDriver(clock=self._clock_for_drivers(),
                                         name=name)
+        driver.attach_obs(self.obs, name)
         return self.resources.add_physical(PhysicalResource(
             name=name, host=host, driver=driver, rtype="database",
             zone=self.zone))
@@ -274,7 +281,9 @@ class Federation:
             "virtual_time_s": self.clock.now,
             "messages": self.network.messages_sent,
             "bytes_on_wire": self.network.bytes_sent,
+            "failed_attempts": self.network.failed_attempts,
             "rpc_calls": self.rpc.stats.calls,
+            "rpc_failures": self.rpc.stats.failures,
             "catalog_objects": len(self.mcat.db.table("objects")),
             "catalog_replicas": len(self.mcat.db.table("replicas")),
             "acl_checks": self.access.checks,

@@ -72,8 +72,17 @@ class ReplicaSelector:
             self._rr_counter += 1
             return reps[k:] + reps[:k]
         if self.policy == "random":
-            k = self._lcg() % len(reps)
-            return reps[k:] + reps[:k]
+            # Fisher–Yates driven by the LCG: a rotation only ever yields
+            # n of the n! orderings, so replicas adjacent in number stay
+            # adjacent in every chain and load never truly spreads.
+            shuffled = list(reps)
+            for i in range(len(shuffled) - 1, 0, -1):
+                # draw from the high bits: with a 2^64 modulus the low
+                # bit of the LCG strictly alternates, so ``state % 2``
+                # would undo the shuffle for the last swap
+                j = (self._lcg() >> 32) % (i + 1)
+                shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+            return shuffled
         if self.policy == "nearest":
             if from_host is None:
                 return reps

@@ -111,6 +111,10 @@ class SrbServer:
         return self.federation.network
 
     @property
+    def obs(self):
+        return self.federation.obs
+
+    @property
     def clock(self):
         return self.federation.clock
 
@@ -128,8 +132,14 @@ class SrbServer:
         self.ops_served += 1
         if not self.is_mcat_server:
             mhost = self.federation.mcat_server.host
-            self.network.transfer(self.host, mhost, _CONTROL_MSG)
-            self.network.transfer(mhost, self.host, _CONTROL_MSG)
+            with self.obs.tracer.span("srb.mcat_hop", server=self.name):
+                self.network.transfer(self.host, mhost, _CONTROL_MSG)
+                self.network.transfer(mhost, self.host, _CONTROL_MSG)
+
+    def _op(self, op: str, **attrs: Any):
+        """Top-level operation span + the per-server ``srb.ops`` counter."""
+        self.obs.metrics.inc("srb.ops", server=self.name, op=op)
+        return self.obs.tracer.span(f"srb.{op}", server=self.name, **attrs)
 
     def _foreign_zone(self, path: str) -> Optional[str]:
         """The zone of ``path`` if it belongs to a *federated peer*.
@@ -319,52 +329,58 @@ class SrbServer:
         specification."  Structural metadata requirements of the target
         collection are validated; the effective attributes are attached.
         """
-        self._require_local(path, "ingest")
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = paths.normalize(path)
-        coll = paths.dirname(path)
-        if not self.mcat.collection_exists(coll):
-            from repro.errors import NoSuchCollection
-            raise NoSuchCollection(f"no collection {coll!r}")
-        self.access.require_collection(principal, coll, "write")
-        effective_md = self.mcat.validate_ingest_metadata(coll, metadata or {})
+        with self._op("ingest", path=path) as sp:
+            self._require_local(path, "ingest")
+            principal = self._auth(ticket)
+            self._mcat_hop()
+            path = paths.normalize(path)
+            coll = paths.dirname(path)
+            if not self.mcat.collection_exists(coll):
+                from repro.errors import NoSuchCollection
+                raise NoSuchCollection(f"no collection {coll!r}")
+            self.access.require_collection(principal, coll, "write")
+            effective_md = self.mcat.validate_ingest_metadata(coll,
+                                                              metadata or {})
 
-        oid = self.mcat.create_object(
-            path, kind="data", owner=str(principal), now=self.now,
-            data_type=data_type, size=len(data),
-            checksum=content_checksum(data))
+            oid = self.mcat.create_object(
+                path, kind="data", owner=str(principal), now=self.now,
+                data_type=data_type, size=len(data),
+                checksum=content_checksum(data))
 
-        try:
-            if container is not None:
-                cont = self.containers.get_container(container)
-                self.access.require_object(principal, cont, "write")
-                self.containers.append_member(cont, oid, data, now=self.now,
-                                              server_host=self.host)
-            else:
-                resource = resource or self.federation.default_resource
-                if resource is None:
-                    raise NoSuchResource("no resource given and no default")
-                for res in self.resources.resolve(resource):
-                    if not self.resources.available(res.name):
-                        raise ResourceUnavailable(
-                            f"resource {res.name!r} is down")
-                    phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
-                           f"{oid}-{paths.basename(path)}"
-                    self._resource_session(res)
-                    self._push_to_resource(res, len(data))
-                    res.driver.create(phys, data)
-                    self.mcat.add_replica(oid, res.name, phys, len(data),
-                                          now=self.now)
-        except SrbError:
-            self.mcat.delete_object(oid)      # no half-ingested objects
-            raise
+            try:
+                if container is not None:
+                    cont = self.containers.get_container(container)
+                    self.access.require_object(principal, cont, "write")
+                    self.containers.append_member(cont, oid, data,
+                                                  now=self.now,
+                                                  server_host=self.host)
+                else:
+                    resource = resource or self.federation.default_resource
+                    if resource is None:
+                        raise NoSuchResource(
+                            "no resource given and no default")
+                    for res in self.resources.resolve(resource):
+                        if not self.resources.available(res.name):
+                            raise ResourceUnavailable(
+                                f"resource {res.name!r} is down")
+                        phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
+                               f"{oid}-{paths.basename(path)}"
+                        self._resource_session(res)
+                        self._push_to_resource(res, len(data))
+                        res.driver.create(phys, data)
+                        self.mcat.add_replica(oid, res.name, phys, len(data),
+                                              now=self.now)
+            except SrbError:
+                self.mcat.delete_object(oid)      # no half-ingested objects
+                raise
 
-        for attr, value in effective_md.items():
-            self.mcat.add_metadata("object", oid, attr, value,
-                                   by=str(principal), now=self.now)
-        self._audit(principal, "ingest", path, detail=f"{len(data)}B")
-        return oid
+            for attr, value in effective_md.items():
+                self.mcat.add_metadata("object", oid, attr, value,
+                                       by=str(principal), now=self.now)
+            self._audit(principal, "ingest", path, detail=f"{len(data)}B")
+            if sp is not None:
+                sp.incr("payload_bytes", len(data))
+            return oid
 
     # ------------------------------------------------------------------
     # registration (the five registered-object kinds)
@@ -505,41 +521,45 @@ class SrbServer:
         ``args`` feeds method objects (command-line parameters at
         invocation); ``sql_remainder`` completes a partial SQL object.
         """
-        zone = self._foreign_zone(path)
-        if zone is not None:
-            return self._forward(zone, "get", ticket, path=path,
-                                 replica_num=replica_num, args=args,
-                                 sql_remainder=sql_remainder)
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = paths.normalize(path)
-        obj = self.mcat.find_object(path)
-        if obj is None:
-            shadow = self._find_shadow(path)
-            if shadow is not None:
-                return self._get_shadow_member(principal, shadow, path)
-            raise NoSuchObject(f"no object {path!r}")
-        obj = self._resolve_link(obj)
-        self.access.require_object(principal, obj, "read")
-        self.locks.check_read(int(obj["oid"]), principal)
-        kind = obj["kind"]
-        if kind in ("data", "registered"):
-            data = self._get_bytes(obj, replica_num)
-        elif kind == "container":
-            data = self._get_bytes(obj, replica_num)
-        elif kind == "sql":
-            data = self._get_sql(obj, replica_num, sql_remainder)
-        elif kind == "url":
-            data = self._get_url(obj, replica_num)
-        elif kind == "method":
-            data = self._get_method(obj, args)
-        elif kind == "shadow-dir":
-            raise UnsupportedOperation(
-                f"{path!r} is a registered directory; access files beneath it")
-        else:
-            raise UnsupportedOperation(f"cannot retrieve kind {kind!r}")
-        self._audit(principal, "get", path, detail=f"{len(data)}B")
-        return data
+        with self._op("get", path=path) as sp:
+            zone = self._foreign_zone(path)
+            if zone is not None:
+                return self._forward(zone, "get", ticket, path=path,
+                                     replica_num=replica_num, args=args,
+                                     sql_remainder=sql_remainder)
+            principal = self._auth(ticket)
+            self._mcat_hop()
+            path = paths.normalize(path)
+            obj = self.mcat.find_object(path)
+            if obj is None:
+                shadow = self._find_shadow(path)
+                if shadow is not None:
+                    return self._get_shadow_member(principal, shadow, path)
+                raise NoSuchObject(f"no object {path!r}")
+            obj = self._resolve_link(obj)
+            self.access.require_object(principal, obj, "read")
+            self.locks.check_read(int(obj["oid"]), principal)
+            kind = obj["kind"]
+            if kind in ("data", "registered"):
+                data = self._get_bytes(obj, replica_num)
+            elif kind == "container":
+                data = self._get_bytes(obj, replica_num)
+            elif kind == "sql":
+                data = self._get_sql(obj, replica_num, sql_remainder)
+            elif kind == "url":
+                data = self._get_url(obj, replica_num)
+            elif kind == "method":
+                data = self._get_method(obj, args)
+            elif kind == "shadow-dir":
+                raise UnsupportedOperation(
+                    f"{path!r} is a registered directory; access files "
+                    "beneath it")
+            else:
+                raise UnsupportedOperation(f"cannot retrieve kind {kind!r}")
+            self._audit(principal, "get", path, detail=f"{len(data)}B")
+            if sp is not None:
+                sp.incr("payload_bytes", len(data))
+            return data
 
     def _resolve_link(self, obj: Dict[str, Any]) -> Dict[str, Any]:
         if obj["kind"] != "link":
@@ -797,42 +817,48 @@ class SrbServer:
         Files inside containers and inside registered directories are not
         replicable with this operation.
         """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        obj = self._resolve_link(obj)
-        if obj["kind"] not in ("data", "registered"):
-            raise UnsupportedOperation(
-                f"cannot replicate kind {obj['kind']!r}; use register_replica")
-        self.access.require_object(principal, obj, "write")
-        oid = int(obj["oid"])
-        replicas = self.mcat.replicas(oid)
-        if any(r["container_oid"] is not None for r in replicas):
-            raise UnsupportedOperation(
-                "mySRB does not support replication of files inside a "
-                "container with this operation")
-        chain = pick_clean_available(self.federation.selector, self.resources,
-                                     replicas, from_host=self.host)
-        src = chain[0]
-        src_res = self.resources.physical(src["resource"])
-        dst_resources = self.resources.resolve(resource)
-        self._resource_session(src_res)
-        data = src_res.driver.read(src["physical_path"])
-        new_num = -1
-        for dst_res in dst_resources:
-            if not self.resources.available(dst_res.name):
-                raise ResourceUnavailable(f"resource {dst_res.name!r} down")
-            if src_res.host != dst_res.host:
-                self.network.transfer(src_res.host, dst_res.host, len(data),
-                                      streams=self.federation.data_streams)
-            phys = f"/srb/replicas/{oid}-r{len(self.mcat.replicas(oid)) + 1}" \
-                   f"-{paths.basename(str(obj['path']))}"
-            self._resource_session(dst_res)
-            dst_res.driver.create(phys, data)
-            new_num = self.mcat.add_replica(oid, dst_res.name, phys,
-                                            len(data), now=self.now)
-        self._audit(principal, "replicate", path, detail=resource)
-        return new_num
+        with self._op("replicate", path=path, resource=resource):
+            principal = self._auth(ticket)
+            self._mcat_hop()
+            obj = self.mcat.get_object(paths.normalize(path))
+            obj = self._resolve_link(obj)
+            if obj["kind"] not in ("data", "registered"):
+                raise UnsupportedOperation(
+                    f"cannot replicate kind {obj['kind']!r}; "
+                    "use register_replica")
+            self.access.require_object(principal, obj, "write")
+            oid = int(obj["oid"])
+            replicas = self.mcat.replicas(oid)
+            if any(r["container_oid"] is not None for r in replicas):
+                raise UnsupportedOperation(
+                    "mySRB does not support replication of files inside a "
+                    "container with this operation")
+            chain = pick_clean_available(self.federation.selector,
+                                         self.resources,
+                                         replicas, from_host=self.host)
+            src = chain[0]
+            src_res = self.resources.physical(src["resource"])
+            dst_resources = self.resources.resolve(resource)
+            self._resource_session(src_res)
+            data = src_res.driver.read(src["physical_path"])
+            new_num = -1
+            for dst_res in dst_resources:
+                if not self.resources.available(dst_res.name):
+                    raise ResourceUnavailable(
+                        f"resource {dst_res.name!r} down")
+                if src_res.host != dst_res.host:
+                    self.network.transfer(src_res.host, dst_res.host,
+                                          len(data),
+                                          streams=self.federation.data_streams)
+                phys = f"/srb/replicas/{oid}" \
+                       f"-r{len(self.mcat.replicas(oid)) + 1}" \
+                       f"-{paths.basename(str(obj['path']))}"
+                self._resource_session(dst_res)
+                dst_res.driver.create(phys, data)
+                new_num = self.mcat.add_replica(oid, dst_res.name, phys,
+                                                len(data), now=self.now)
+            self._audit(principal, "replicate", path, detail=resource)
+            return new_num
 
     def register_replica(self, ticket: Ticket, path: str,
                          target: str, resource: Optional[str] = None) -> int:
@@ -1286,30 +1312,34 @@ class SrbServer:
               strategy: str = "auto") -> QueryResult:
         """Attribute search under ``scope``; results are filtered to
         objects the caller may read."""
-        zone = self._foreign_zone(scope)
-        if zone is not None:
-            return self._forward(zone, "query", ticket, scope=scope,
-                                 conditions=list(conditions),
-                                 include_annotations=include_annotations,
-                                 include_system=include_system,
-                                 limit=limit, strategy=strategy)
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        self.access.require_collection(principal, scope, "read")
-        result = search(self.mcat, scope, conditions,
-                        include_annotations=include_annotations,
-                        include_system=include_system, limit=limit,
-                        strategy=strategy)
-        visible_rows = []
-        for row in result.rows:
-            obj = self.mcat.find_object(str(row[0]))
-            if obj is not None and self.access.can_object(principal, obj,
-                                                          "read"):
-                visible_rows.append(row)
-        result.rows = visible_rows
-        self._audit(principal, "query", scope,
-                    detail=f"{len(conditions)} conds, {len(visible_rows)} hits")
-        return result
+        with self._op("query", scope=scope) as sp:
+            zone = self._foreign_zone(scope)
+            if zone is not None:
+                return self._forward(zone, "query", ticket, scope=scope,
+                                     conditions=list(conditions),
+                                     include_annotations=include_annotations,
+                                     include_system=include_system,
+                                     limit=limit, strategy=strategy)
+            principal = self._auth(ticket)
+            self._mcat_hop()
+            self.access.require_collection(principal, scope, "read")
+            result = search(self.mcat, scope, conditions,
+                            include_annotations=include_annotations,
+                            include_system=include_system, limit=limit,
+                            strategy=strategy)
+            visible_rows = []
+            for row in result.rows:
+                obj = self.mcat.find_object(str(row[0]))
+                if obj is not None and self.access.can_object(principal, obj,
+                                                              "read"):
+                    visible_rows.append(row)
+            result.rows = visible_rows
+            self._audit(principal, "query", scope,
+                        detail=f"{len(conditions)} conds, "
+                               f"{len(visible_rows)} hits")
+            if sp is not None:
+                sp.incr("rows", len(visible_rows))
+            return result
 
     def queryable_attrs(self, ticket: Ticket, scope: str,
                         include_system: bool = False) -> List[str]:

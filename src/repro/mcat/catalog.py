@@ -34,6 +34,7 @@ from repro.errors import (
 )
 from repro.mcat.dublin_core import SchemaRegistry
 from repro.mcat.schema import OBJECT_KINDS, PERMISSIONS, build_schema
+from repro.obs import Observability
 from repro.util import paths
 from repro.util.clock import SimClock
 from repro.util.ids import IdFactory
@@ -57,10 +58,14 @@ class Mcat:
 
     def __init__(self, zone: str = "demozone",
                  clock: Optional[SimClock] = None,
-                 ids: Optional[IdFactory] = None):
+                 ids: Optional[IdFactory] = None,
+                 obs: Optional[Observability] = None):
         self.zone = zone
         self.clock = clock
         self.ids = ids if ids is not None else IdFactory()
+        # standalone catalogs (catalog-scale benchmarks) get their own
+        # pipeline; federations pass the shared one in
+        self.obs = obs if obs is not None else Observability(clock)
         # The backing database is *not* clock-wired: MCAT charges its own
         # per-operation cost so that one logical catalog op = one charge,
         # regardless of how many internal table calls it makes.
@@ -87,8 +92,12 @@ class Mcat:
         try:
             yield
         finally:
+            touched = self._rows_scanned() - before
+            self.obs.metrics.inc("mcat.ops")
+            if touched:
+                self.obs.metrics.inc("mcat.rows_scanned", touched)
+                self.obs.tracer.add("catalog_rows", touched)
             if self.clock is not None:
-                touched = self._rows_scanned() - before
                 self.clock.advance(self.QUERY_OVERHEAD_S +
                                    touched * self.ROW_COST_S)
 

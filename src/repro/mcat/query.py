@@ -188,6 +188,7 @@ def search(mcat: Mcat, scope: str,
     if strategy not in ("auto", "scan", "index"):
         raise QueryError(f"unknown strategy {strategy!r}")
     scope = paths.normalize(scope)
+    rows_before = mcat._rows_scanned()
     real_conditions = [c for c in conditions if isinstance(c, Condition)]
     display_attrs: List[str] = []
     for c in conditions:
@@ -240,6 +241,13 @@ def search(mcat: Mcat, scope: str,
             stored = values.get(attr, [])
             row.append("; ".join(v for v, _n in stored if v is not None) or None)
         rows.append(tuple(row))
+    plan = "index" if candidate_ids is not None else "scan"
+    mcat.obs.metrics.inc("mcat.queries", strategy=strategy, plan=plan)
+    mcat.obs.metrics.inc("mcat.query_rows_scanned",
+                         mcat._rows_scanned() - rows_before,
+                         strategy=strategy, plan=plan)
+    mcat.obs.metrics.inc("mcat.query_rows_matched", len(matched),
+                         strategy=strategy, plan=plan)
     return QueryResult(columns=columns, rows=rows)
 
 

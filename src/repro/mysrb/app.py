@@ -157,6 +157,8 @@ class MySrbApp:
             return Response(views.help_page())
         if path == "/resources":
             return Response(views.resources_page(self._client(request)))
+        if path == "/status":
+            return Response(views.status_page(self._client(request)))
         if path == "/newuser":
             return self._do_newuser(request)
 

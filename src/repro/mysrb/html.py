@@ -61,6 +61,7 @@ def nav_bar(session_user: Optional[str], current: str) -> str:
     links = [
         ("/browse", "Collections"),
         ("/resources", "Resources"),
+        ("/status", "Status"),
         ("/query?scope=" + url_quote(current), "mySRB Query"),
         ("/ingest?coll=" + url_quote(current), "Ingest"),
         ("/register?coll=" + url_quote(current), "Register"),

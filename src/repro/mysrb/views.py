@@ -424,6 +424,42 @@ def resources_page(client: SrbClient) -> str:
     return H.page("Resources", top, bottom, nav=nav)
 
 
+def status_page(client: SrbClient) -> str:
+    """Grid status: the observability metrics registry, rendered live.
+
+    One row per labeled counter series plus count/mean/max per histogram
+    — the web view of what ``Sstat`` prints on the command line.
+    """
+    fed = client.federation
+    metrics = fed.obs.metrics
+    stat_rows = [(k, v) for k, v in sorted(fed.stats().items())]
+    counter_rows = []
+    for name in metrics.counter_names():
+        for labels, value in metrics.series(name).items():
+            counter_rows.append((name + labels, f"{value:g}"))
+    hist_rows = []
+    for name in metrics.histogram_names():
+        for labels, h in metrics.histogram_series(name).items():
+            hist_rows.append((name + labels, h.count,
+                              f"{h.mean:.6f}", f"{h.max:.6f}"))
+    top = ("<h3>Grid status</h3>"
+           "<p>Live counters from the federation-wide observability "
+           "registry: network, RPC, server, storage and catalog "
+           "activity since start-up (virtual time).</p>")
+    bottom = ("<h4>Federation</h4>"
+              + H.table(["stat", "value"],
+                        [(k, str(v)) for k, v in stat_rows])
+              + "<h4>Counters</h4>"
+              + (H.table(["metric", "value"], counter_rows)
+                 if counter_rows else "<p><i>none</i></p>")
+              + "<h4>Histograms (virtual seconds)</h4>"
+              + (H.table(["metric", "count", "mean", "max"], hist_rows)
+                 if hist_rows else "<p><i>none</i></p>"))
+    nav = H.nav_bar(client.username if client.ticket else None,
+                    f"/{fed.zone}")
+    return H.page("Status", top, bottom, nav=nav)
+
+
 def newuser_form(client: SrbClient, roles) -> str:
     """User registration ("the MySRB interface provides additional
     functionalities such as user registration") — sysadmin only."""

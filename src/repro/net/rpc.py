@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict
 
-from repro.errors import RpcError, SrbError
+from repro.errors import HostUnreachable, RpcError, SrbError
 from repro.net.simnet import Network
 from repro.net.wire import message_size
 
@@ -88,28 +88,56 @@ class ServiceRegistry:
         if fn is None or method.startswith("_"):
             raise RpcError(f"service {service!r} has no method {method!r}")
 
+        obs = self.network.obs
         req_bytes = message_size({"method": method, "kwargs": kwargs})
-        self.network.transfer(src, dst, req_bytes)
-        self.stats.calls += 1
-        self.stats.request_bytes += req_bytes
+        with obs.tracer.span("rpc.call", src=src, dst=dst, service=service,
+                             method=method) as sp:
+            t0 = self.network.clock.now
+            # the attempt counts even if the request never arrives: an
+            # unreachable-host RPC must be visible in the stats
+            self.stats.calls += 1
+            self.stats.request_bytes += req_bytes
+            obs.metrics.inc("rpc.calls", service=service, method=method)
+            obs.metrics.inc("rpc.request_bytes", req_bytes,
+                            service=service, method=method)
+            if sp is not None:
+                sp.incr("request_bytes", req_bytes)
+            try:
+                self.network.transfer(src, dst, req_bytes)
+            except HostUnreachable:
+                self.stats.failures += 1
+                obs.metrics.inc("rpc.failures", service=service,
+                                method=method, error="unreachable")
+                raise
 
-        try:
-            result = fn(**kwargs)
-        except SrbError:
-            # error response: small fixed-size message back to the caller
-            self.stats.failures += 1
-            err_bytes = message_size({"error": True})
-            self.network.transfer(dst, src, err_bytes)
-            self.stats.response_bytes += err_bytes
-            raise
-        except Exception as exc:  # non-SRB bug: wrap, don't leak
-            self.stats.failures += 1
-            err_bytes = message_size({"error": True})
-            self.network.transfer(dst, src, err_bytes)
-            self.stats.response_bytes += err_bytes
-            raise RpcError(f"remote {service}.{method} failed: {exc!r}") from exc
+            try:
+                result = fn(**kwargs)
+            except SrbError as exc:
+                # error response: small fixed-size message back to the caller
+                self.stats.failures += 1
+                obs.metrics.inc("rpc.failures", service=service,
+                                method=method, error=type(exc).__name__)
+                err_bytes = message_size({"error": True})
+                self.network.transfer(dst, src, err_bytes)
+                self.stats.response_bytes += err_bytes
+                raise
+            except Exception as exc:  # non-SRB bug: wrap, don't leak
+                self.stats.failures += 1
+                obs.metrics.inc("rpc.failures", service=service,
+                                method=method, error=type(exc).__name__)
+                err_bytes = message_size({"error": True})
+                self.network.transfer(dst, src, err_bytes)
+                self.stats.response_bytes += err_bytes
+                raise RpcError(
+                    f"remote {service}.{method} failed: {exc!r}") from exc
 
-        resp_bytes = message_size(result)
-        self.network.transfer(dst, src, resp_bytes)
-        self.stats.response_bytes += resp_bytes
+            resp_bytes = message_size(result)
+            self.network.transfer(dst, src, resp_bytes)
+            self.stats.response_bytes += resp_bytes
+            obs.metrics.inc("rpc.response_bytes", resp_bytes,
+                            service=service, method=method)
+            obs.metrics.observe("rpc.call_s", self.network.clock.now - t0,
+                                service=service, method=method)
+            if sp is not None:
+                sp.incr("response_bytes", resp_bytes)
         return result

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import HostUnreachable, NetworkError
+from repro.obs import Observability
 from repro.util.clock import SimClock
 
 
@@ -95,14 +96,19 @@ class Network:
     """Registry of hosts + links + the shared virtual clock."""
 
     def __init__(self, clock: Optional[SimClock] = None,
-                 default_link: LinkSpec = WAN):
+                 default_link: LinkSpec = WAN,
+                 obs: Optional[Observability] = None):
         self.clock = clock if clock is not None else SimClock()
         self.default_link = default_link
+        # the network is the one component every layer shares, so the
+        # observability pipeline (tracer + metrics) lives with it
+        self.obs = obs if obs is not None else Observability(self.clock)
         self._hosts: Dict[str, Host] = {}
         self._links: Dict[Tuple[str, str], LinkSpec] = {}
         self._partitions: Set[frozenset] = set()
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.failed_attempts = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -181,35 +187,60 @@ class Network:
         spec = self.link(src, dst)
         try:
             self.check_reachable(src, dst)
-        except HostUnreachable:
-            # A failed attempt still costs a timeout (we charge one RTT).
-            self.clock.advance(2 * spec.latency_s)
+        except HostUnreachable as exc:
+            # A failed attempt still costs a timeout (we charge one RTT) —
+            # and it *is* a message the caller put on the wire, so it
+            # counts: E2's failover overhead must be visible in the stats
+            # that are supposed to explain it.
+            with self.obs.tracer.span("net.transfer", src=src, dst=dst,
+                                      bytes=nbytes) as sp:
+                if sp is not None:
+                    sp.error = str(exc)
+                self.clock.advance(2 * spec.latency_s)
+            self.messages_sent += 1
+            self.failed_attempts += 1
+            self.obs.tracer.add("messages", 1)
+            self.obs.tracer.add("failed_attempts", 1)
+            self.obs.metrics.inc("net.messages", src=src, dst=dst)
+            self.obs.metrics.inc("net.failed_attempts", src=src, dst=dst)
             raise
         cost = spec.cost(nbytes, streams=streams)
-        self.clock.advance(cost)
+        with self.obs.tracer.span("net.transfer", src=src, dst=dst,
+                                  bytes=nbytes, streams=streams):
+            self.clock.advance(cost)
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        self.obs.tracer.add("messages", 1)
+        self.obs.tracer.add("bytes", nbytes)
+        self.obs.metrics.inc("net.messages", src=src, dst=dst)
+        self.obs.metrics.inc("net.bytes", nbytes, src=src, dst=dst)
+        self.obs.metrics.observe("net.transfer_s", cost, src=src, dst=dst)
         return cost
 
     def schedule_transfer(self, src: str, dst: str, nbytes: int,
-                          not_before: Optional[float] = None) -> float:
+                          not_before: Optional[float] = None,
+                          streams: int = 1) -> float:
         """Queue a transfer and return its completion timestamp.
 
         Models per-host serialization: the transfer cannot start before
         either endpoint finishes its previous queued transfer.  Does not
         advance the global clock; callers (the load-balance benchmark)
-        take ``max`` over completions to compute makespan.
+        take ``max`` over completions to compute makespan.  ``streams``
+        models parallel connections exactly as in :meth:`transfer`, so
+        queued-mode benchmarks (E12) can use parallel I/O too.
         """
         self.check_reachable(src, dst)
         spec = self.link(src, dst)
         s, d = self.host(src), self.host(dst)
         start = max(self.clock.now, s.busy_until, d.busy_until,
                     not_before if not_before is not None else 0.0)
-        done = start + spec.cost(nbytes)
+        done = start + spec.cost(nbytes, streams=streams)
         s.busy_until = done
         d.busy_until = done
         self.messages_sent += 1
         self.bytes_sent += nbytes
+        self.obs.metrics.inc("net.messages", src=src, dst=dst)
+        self.obs.metrics.inc("net.bytes", nbytes, src=src, dst=dst)
         return done
 
     def reset_queues(self) -> None:

@@ -16,6 +16,7 @@ Command summary (``help`` prints the same):
   replicas   Sreplicate Ssync Sverify
   metadata   Smeta Sannotate Squery Sattrs
   access     Schmod Saudit
+  observe    Sstat Strace
   locking    Slock Sunlock Spin Sunpin Scheckout Scheckin
   containers Smkcont Ssyncont
   register   Sregister
@@ -379,6 +380,34 @@ class Shell:
             f"{e['at']:10.3f} {e['principal']:<20} {e['action']:<16} "
             f"{e['target']}" + ("" if e["ok"] else "  [DENIED]")
             for e in entries)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    @_usage("Sstat [prefix ...]   (grid metrics registry, e.g. Sstat net rpc)")
+    def cmd_Sstat(self, args: List[str]) -> str:
+        fed = self.client.federation
+        rendered = fed.obs.metrics.render(prefixes=args or None)
+        if args:
+            return rendered or "(no matching metrics)"
+        summary = "\n".join(f"{k}: {v}"
+                            for k, v in sorted(fed.stats().items()))
+        return summary + ("\n\n" + rendered if rendered else "")
+
+    @_usage("Strace <Scommand ...>   (run a command, print its span tree)")
+    def cmd_Strace(self, args: List[str]) -> str:
+        self._need(args, 1, "give the Scommand to trace")
+        tracer = self.client.federation.obs.tracer
+        line = " ".join(shlex.quote(a) for a in args)
+        # render our own root explicitly: when Strace is nested (Strace
+        # Strace ...) the inner trace is not a root, and render() with
+        # no argument would fall back to some previous trace
+        with tracer.trace("scommand", line=line) as root:
+            code, output = self.run(line)
+        tree = tracer.render(root)
+        head = output if code == 0 else f"(exit {code}) {output}"
+        return (head + "\n\n" if head else "") + tree
 
     # ------------------------------------------------------------------
     # locking / versions

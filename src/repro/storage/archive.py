@@ -80,7 +80,13 @@ class ArchiveDriver(StorageDriver):
     def _stage(self, path: str) -> None:
         """Bring a tape-resident file into the disk cache."""
         data = self._tape[path]
-        self._charge_tape(len(data))
+        if self.obs is not None:
+            self.obs.metrics.inc("storage.stages", driver=self.label)
+            with self.obs.tracer.span("storage.stage", driver=self.label,
+                                      bytes=len(data)):
+                self._charge_tape(len(data))
+        else:
+            self._charge_tape(len(data))
         self.stages += 1
         self._cache_put(path, bytearray(data))
 
@@ -153,7 +159,7 @@ class ArchiveDriver(StorageDriver):
         if self.exists(path):
             from repro.errors import AlreadyExists
             raise AlreadyExists(f"archive file exists: {path!r}")
-        self._charge_write(len(data))           # lands in disk cache
+        self._charge_write(len(data), op="create")  # lands in disk cache
         self._cache_put(path, bytearray(data))
         self._migrate(path)                     # HSM migrates asynchronously;
         # we record the tape copy immediately (migration bandwidth is not on
@@ -164,8 +170,15 @@ class ArchiveDriver(StorageDriver):
         path = normalize_physical(path)
         self.require(path)
         if path not in self._cache:
+            if self.obs is not None:
+                self.obs.metrics.inc("storage.cache_misses",
+                                     driver=self.label)
+                self.obs.tracer.add("cache_misses", 1)
             self._stage(path)
         else:
+            if self.obs is not None:
+                self.obs.metrics.inc("storage.cache_hits", driver=self.label)
+                self.obs.tracer.add("cache_hits", 1)
             self._cache_touch(path)
         buf = self._cache[path]
         end = len(buf) if length is None else min(len(buf), offset + length)
@@ -208,7 +221,7 @@ class ArchiveDriver(StorageDriver):
         if path in self._cache:
             del self._cache[path]
             self._cache_order.remove(path)
-        self._charge_op()
+        self._charge_op("delete")
 
     def exists(self, path: str) -> bool:
         path = normalize_physical(path)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import NoSuchPhysicalFile, StorageError
+from repro.obs import Observability
 from repro.util.clock import SimClock
 
 
@@ -64,9 +65,23 @@ class StorageDriver(abc.ABC):
                  cost: DeviceCost = DISK_COST):
         self.clock = clock
         self.cost = cost
+        self.obs: Optional[Observability] = None
+        self.label = self.kind
         self.ops = 0
         self.bytes_read = 0
         self.bytes_written = 0
+
+    def attach_obs(self, obs: Observability,
+                   label: Optional[str] = None) -> None:
+        """Hook this driver into the grid-wide observability pipeline.
+
+        ``label`` is the resource name the driver sits behind (the
+        federation attaches it when registering the resource), so metrics
+        distinguish drivers of the same kind on different resources.
+        """
+        self.obs = obs
+        if label is not None:
+            self.label = label
 
     # -- accounting helpers -------------------------------------------------
 
@@ -74,18 +89,39 @@ class StorageDriver(abc.ABC):
         if self.clock is not None and seconds > 0:
             self.clock.advance(seconds)
 
+    def _count_op(self, op: str) -> None:
+        if self.obs is not None:
+            self.obs.metrics.inc("storage.ops", driver=self.label, op=op)
+
     def _charge_read(self, nbytes: int) -> None:
         self.ops += 1
         self.bytes_read += nbytes
-        self._charge(self.cost.read_cost(nbytes))
+        self._count_op("read")
+        if self.obs is not None:
+            self.obs.metrics.inc("storage.bytes_read", nbytes,
+                                 driver=self.label)
+            with self.obs.tracer.span("storage.read", driver=self.label,
+                                      bytes=nbytes):
+                self._charge(self.cost.read_cost(nbytes))
+        else:
+            self._charge(self.cost.read_cost(nbytes))
 
-    def _charge_write(self, nbytes: int) -> None:
+    def _charge_write(self, nbytes: int, op: str = "write") -> None:
         self.ops += 1
         self.bytes_written += nbytes
-        self._charge(self.cost.write_cost(nbytes))
+        self._count_op(op)
+        if self.obs is not None:
+            self.obs.metrics.inc("storage.bytes_written", nbytes,
+                                 driver=self.label)
+            with self.obs.tracer.span(f"storage.{op}", driver=self.label,
+                                      bytes=nbytes):
+                self._charge(self.cost.write_cost(nbytes))
+        else:
+            self._charge(self.cost.write_cost(nbytes))
 
-    def _charge_op(self) -> None:
+    def _charge_op(self, op: str = "meta") -> None:
         self.ops += 1
+        self._count_op(op)
         self._charge(self.cost.op_latency_s)
 
     # -- required interface ----------------------------------------------------

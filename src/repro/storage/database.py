@@ -57,7 +57,7 @@ class DatabaseResourceDriver(StorageDriver):
         if self._lobs.lookup_eq("path", path):
             raise AlreadyExists(f"LOB exists: {path!r}")
         self._lobs.insert({"path": path, "data": bytes(data)})
-        self._charge_write(len(data))
+        self._charge_write(len(data), op="create")
 
     def read(self, path: str, offset: int = 0,
              length: Optional[int] = None) -> bytes:
@@ -93,7 +93,7 @@ class DatabaseResourceDriver(StorageDriver):
     def delete(self, path: str) -> None:
         path = normalize_physical(path)
         self._lobs.delete_row(self._lob_rid(path))
-        self._charge_op()
+        self._charge_op("delete")
 
     def exists(self, path: str) -> bool:
         return bool(self._lobs.lookup_eq("path", normalize_physical(path)))

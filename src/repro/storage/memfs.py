@@ -47,7 +47,7 @@ class MemFsDriver(StorageDriver):
             raise AlreadyExists(f"file exists: {path!r}")
         self._check_capacity(len(data))
         self._files[path] = bytearray(data)
-        self._charge_write(len(data))
+        self._charge_write(len(data), op="create")
 
     def read(self, path: str, offset: int = 0,
              length: Optional[int] = None) -> bytes:
@@ -85,7 +85,7 @@ class MemFsDriver(StorageDriver):
         path = normalize_physical(path)
         self.require(path)
         del self._files[path]
-        self._charge_op()
+        self._charge_op("delete")
 
     def exists(self, path: str) -> bool:
         return normalize_physical(path) in self._files

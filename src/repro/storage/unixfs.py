@@ -45,7 +45,7 @@ class UnixFsDriver(StorageDriver):
         os.makedirs(os.path.dirname(real), exist_ok=True)
         with open(real, "wb") as fh:
             fh.write(data)
-        self._charge_write(len(data))
+        self._charge_write(len(data), op="create")
 
     def read(self, path: str, offset: int = 0,
              length: Optional[int] = None) -> bytes:
@@ -84,7 +84,7 @@ class UnixFsDriver(StorageDriver):
         if not os.path.isfile(real):
             raise NoSuchPhysicalFile(f"unixfs: no file {path!r}")
         os.remove(real)
-        self._charge_op()
+        self._charge_op("delete")
 
     def exists(self, path: str) -> bool:
         return os.path.isfile(self._real(path))

@@ -78,6 +78,24 @@ class TestExpiry:
         mgr.clock.advance(3000.0)
         mgr.validate(sess.key)   # still alive thanks to renewal
 
+    def test_touch_does_not_count_a_request(self, mgr):
+        """Regression: touch went through validate(), so every renewal
+        inflated ``requests_served`` without serving anything."""
+        sess = mgr.open(SEKAR)
+        mgr.validate(sess.key)
+        mgr.touch(sess.key)
+        mgr.touch(sess.key)
+        assert sess.requests_served == 1
+
+    def test_touch_still_rejects_bad_keys(self, mgr):
+        """Splitting accounting out of validation must not loosen it."""
+        with pytest.raises(AuthError):
+            mgr.touch("not-a-session-key")
+        sess = mgr.open(SEKAR)
+        mgr.clock.advance(4000.0)
+        with pytest.raises(SessionExpired):
+            mgr.touch(sess.key)
+
     def test_active_count_and_purge(self, mgr):
         mgr.open(SEKAR)
         mgr.clock.advance(1800.0)

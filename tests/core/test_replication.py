@@ -66,6 +66,20 @@ class TestSelectorPolicies:
             seen.add(tuple(order))
         assert len(seen) == 2              # both rotations appear
 
+    def test_random_is_a_real_shuffle(self, env):
+        """Regression: the 'deterministic LCG shuffle' was a bare
+        rotation, which reaches only n of the n! orderings — with three
+        replicas, numbers adjacent in one chain stayed adjacent in all."""
+        net, reg = env
+        sel = ReplicaSelector(reg, net, policy="random")
+        reps = [{"replica_num": i, "resource": "res-near",
+                 "is_dirty": False, "container_oid": None,
+                 "physical_path": f"/p{i}"} for i in (1, 2, 3)]
+        seen = set()
+        for _ in range(200):
+            seen.add(tuple(r["replica_num"] for r in sel.order(reps)))
+        assert len(seen) == 6              # all 3! permutations appear
+
     def test_nearest_prefers_low_latency(self, env):
         net, reg = env
         sel = ReplicaSelector(reg, net, policy="nearest")

@@ -316,3 +316,31 @@ class TestDumpCommand:
         restored = import_catalog((tmp_path / "cat.json").read_text())
         assert restored.zone == "demozone"
         assert restored.collection_exists(grid.home)
+
+
+class TestObservability:
+    def test_sstat_summary_and_prefix(self, shell):
+        grid, sh = shell
+        out = ok(sh, "Sstat")
+        assert "messages:" in out            # federation summary
+        assert "rpc.calls" in out            # metrics registry
+        out = ok(sh, "Sstat net")
+        assert "net.messages" in out and "rpc.calls" not in out
+        assert ok(sh, "Sstat no.such.metric") == "(no matching metrics)"
+
+    def test_strace_wraps_a_command(self, shell):
+        grid, sh = shell
+        out = ok(sh, f"Strace Sls {grid.home}")
+        assert "scommand line=Sls" in out
+        assert "rpc.call" in out and "net.transfer" in out
+
+    def test_strace_reports_inner_failure(self, shell):
+        grid, sh = shell
+        out = ok(sh, "Strace Scat /demozone/nope.dat")
+        assert "(exit 1)" in out
+        assert "scommand" in out             # the tree still renders
+
+    def test_strace_needs_a_command(self, shell):
+        grid, sh = shell
+        code, out = sh.run("Strace")
+        assert code == 1

@@ -1,0 +1,82 @@
+"""End-to-end observability: one cross-server read, fully explained.
+
+The curator on the laptop reads an object whose only replica lives on
+caltech, via the MCAT server at sdsc.  The trace must show the causal
+chain (client get -> server RPC -> storage driver read) with virtual
+times that close against the clock, and the always-on metrics must agree
+with the network's own counters.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def remote_object(grid):
+    path = f"{grid.home}/remote.dat"
+    grid.curator.ingest(path, b"stellar" * 7000, resource="unix-caltech")
+    return path
+
+
+class TestTrace:
+    def test_cross_server_read_span_tree(self, grid, remote_object):
+        fed, curator = grid.fed, grid.curator
+        t0 = fed.clock.now
+        with fed.obs.tracer.trace("client.get", path=remote_object) as root:
+            data = curator.get(remote_object)
+        assert data == b"stellar" * 7000
+
+        # the causal chain nests: client -> RPC -> server op -> driver
+        rpc = root.find("rpc.call")
+        assert rpc and rpc[0].attrs["method"] == "get"
+        get_spans = root.find("srb.get")
+        assert get_spans and get_spans[0].parent is rpc[0]
+        reads = root.find("storage.read")
+        assert reads and reads[0].attrs["driver"] == "unix-caltech"
+        assert any(s.name == "srb.get" for s in _ancestors(reads[0]))
+        assert root.find("net.transfer")   # wire hops appear too
+
+        # virtual time closes: the root covers the clock delta exactly,
+        # and its direct children account for all of it (the client does
+        # no clocked work of its own)
+        assert root.duration == pytest.approx(fed.clock.now - t0)
+        assert sum(c.duration for c in root.children) == pytest.approx(
+            root.duration)
+
+    def test_trace_counters_match_metrics_delta(self, grid, remote_object):
+        fed, curator = grid.fed, grid.curator
+        before = fed.obs.metrics.snapshot()
+        with fed.obs.tracer.trace("client.get") as root:
+            curator.get(remote_object)
+        delta = fed.obs.metrics.delta(before)
+        m = fed.obs.metrics
+        assert root.total("messages") == m.sum_matching(delta, "net.messages")
+        assert root.total("bytes") == m.sum_matching(delta, "net.bytes")
+        assert m.sum_matching(delta, "rpc.calls") == 1
+        assert m.sum_matching(delta, "srb.ops") == 1
+
+
+class TestMetricsAgreeWithNetwork:
+    def test_totals_mirror_network_counters(self, grid, remote_object):
+        fed = grid.fed
+        grid.curator.get(remote_object)
+        fed.network.set_down("caltech")
+        from repro.errors import ReplicaUnavailable
+        with pytest.raises(ReplicaUnavailable):
+            grid.curator.get(remote_object)
+        fed.network.set_up("caltech")
+
+        m = fed.obs.metrics
+        # every message the network counted — grid setup, reads, and the
+        # failed attempts — has a labeled metric increment behind it
+        assert m.total("net.messages") == fed.network.messages_sent
+        assert m.total("net.bytes") == fed.network.bytes_sent
+        assert (m.total("net.failed_attempts")
+                == fed.network.failed_attempts > 0)
+        assert m.total("rpc.calls") == fed.rpc.stats.calls
+        assert m.total("rpc.failures") == fed.rpc.stats.failures
+
+
+def _ancestors(span):
+    while span.parent is not None:
+        span = span.parent
+        yield span

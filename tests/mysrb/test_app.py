@@ -112,6 +112,24 @@ class TestBrowse:
         assert "replica" in r.text
 
 
+class TestStatusPage:
+    def test_status_shows_grid_stats_and_metrics(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/s.txt", b"x" * 1000)
+        login(browser)
+        r = browser.get("/status")
+        assert r.code == 200
+        assert "messages" in r.text          # federation summary
+        assert "rpc.calls" in r.text         # counter series
+        assert "rpc.call_s" in r.text        # histogram series
+
+    def test_status_public_like_resources(self, web):
+        grid, app, browser = web
+        r = browser.get("/status")      # anonymous, same as /resources
+        assert r.code == 200
+        assert "virtual_time_s" in r.text
+
+
 class TestIngestFlow:
     def test_ingest_form_has_dublin_core(self, web):
         grid, app, browser = web

@@ -79,6 +79,19 @@ class TestErrors:
         assert net.clock.now - t0 >= 2 * net.default_link.latency_s
         assert rpc.stats.failures == 1
 
+    def test_unreachable_host_counted(self, setup):
+        """Regression: a call that dies on the request transfer used to
+        leave ``calls`` and ``failures`` both at zero — invisible in
+        exactly the situation the stats exist for."""
+        net, rpc = setup
+        net.set_down("server")
+        from repro.errors import HostUnreachable
+        with pytest.raises(HostUnreachable):
+            rpc.call("client", "server", "svc", "echo", text="hi")
+        assert rpc.stats.calls == 1
+        assert rpc.stats.failures == 1
+        assert rpc.stats.request_bytes > 0
+
     def test_unknown_service(self, setup):
         _, rpc = setup
         with pytest.raises(RpcError):

@@ -85,6 +85,16 @@ class TestFailures:
         # one RTT of timeout was charged
         assert net.clock.now - t0 == pytest.approx(2 * WAN.latency_s)
 
+    def test_failed_attempt_counted(self, net):
+        """Regression: a timed-out attempt is still a message the caller
+        put on the wire — it used to vanish from ``messages_sent``."""
+        net.set_down("b")
+        with pytest.raises(HostUnreachable):
+            net.transfer("a", "b", 10)
+        assert net.messages_sent == 1
+        assert net.failed_attempts == 1
+        assert net.bytes_sent == 0      # the payload never arrived
+
     def test_recovery(self, net):
         net.set_down("b")
         net.set_up("b")
@@ -132,6 +142,16 @@ class TestScheduledTransfers:
         net.schedule_transfer("a", "b", 5_000_000)
         net.reset_queues()
         assert net.host("b").busy_until == 0.0
+
+    def test_schedule_accepts_streams(self, net):
+        """Regression: queued transfers ignored ``streams``, so E12-style
+        benchmarks silently ran parallel I/O at single-stream speed."""
+        net.set_link("a", "b", LinkSpec(latency_s=0.0, bandwidth_bps=8e6,
+                                        per_stream_bps=1e6))
+        slow = net.schedule_transfer("a", "b", 1_000_000)
+        net.reset_queues()
+        fast = net.schedule_transfer("a", "b", 1_000_000, streams=4)
+        assert slow == pytest.approx(4 * fast)
 
 
 class TestParallelStreams:

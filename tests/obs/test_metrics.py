@@ -1,0 +1,110 @@
+"""Unit tests for the labeled counter/histogram metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounters:
+    def test_inc_and_get(self, reg):
+        reg.inc("net.messages", src="a", dst="b")
+        reg.inc("net.messages", src="a", dst="b")
+        reg.inc("net.messages", src="b", dst="a")
+        assert reg.get("net.messages", src="a", dst="b") == 2
+        assert reg.get("net.messages", src="b", dst="a") == 1
+
+    def test_label_order_irrelevant(self, reg):
+        reg.inc("m", src="a", dst="b")
+        assert reg.get("m", dst="b", src="a") == 1
+
+    def test_unknown_series_is_zero(self, reg):
+        assert reg.get("nope", x="y") == 0
+        assert reg.total("nope") == 0
+
+    def test_total_sums_label_sets(self, reg):
+        reg.inc("m", k="a")
+        reg.inc("m", 5, k="b")
+        assert reg.total("m") == 6
+
+    def test_series_keys_render_labels(self, reg):
+        reg.inc("m", op="read", driver="fs")
+        assert reg.series("m") == {"{driver=fs,op=read}": 1}
+
+    def test_counter_names_sorted(self, reg):
+        reg.inc("b")
+        reg.inc("a")
+        assert reg.counter_names() == ["a", "b"]
+
+
+class TestHistograms:
+    def test_observe_statistics(self, reg):
+        for v in (0.1, 0.2, 0.3):
+            reg.observe("rpc.call_s", v, method="get")
+        h = reg.histogram("rpc.call_s", method="get")
+        assert h.count == 3
+        assert h.mean == pytest.approx(0.2)
+        assert h.min == pytest.approx(0.1)
+        assert h.max == pytest.approx(0.3)
+
+    def test_bucket_counts(self, reg):
+        reg.observe("h", 0.005)
+        reg.observe("h", 0.005)
+        reg.observe("h", 50.0)
+        h = reg.histogram("h")
+        assert sum(h.bucket_counts) == 3
+
+    def test_histogram_series(self, reg):
+        reg.observe("h", 1.0, method="a")
+        reg.observe("h", 2.0, method="b")
+        series = reg.histogram_series("h")
+        assert set(series) == {"{method=a}", "{method=b}"}
+
+
+class TestSnapshots:
+    def test_snapshot_includes_histogram_count_sum(self, reg):
+        reg.inc("c", host="h0")
+        reg.observe("h", 0.5)
+        snap = reg.snapshot()
+        assert snap["c{host=h0}"] == 1
+        assert snap["h:count"] == 1
+        assert snap["h:sum"] == 0.5
+
+    def test_delta_reports_only_changes(self, reg):
+        reg.inc("stable")
+        reg.inc("moving")
+        before = reg.snapshot()
+        reg.inc("moving", 4)
+        reg.inc("fresh")
+        assert reg.delta(before) == {"moving": 4, "fresh": 1}
+
+    def test_sum_matching_crosses_label_sets(self, reg):
+        reg.inc("net.messages", src="a")
+        reg.inc("net.messages", 2, src="b")
+        reg.inc("net.messages_other")
+        snap = reg.snapshot()
+        assert MetricsRegistry.sum_matching(snap, "net.messages") == 3
+
+
+class TestRender:
+    def test_render_lines(self, reg):
+        reg.inc("rpc.calls", method="get")
+        reg.inc("net.bytes", 10)
+        text = reg.render()
+        assert "rpc.calls{method=get} 1" in text
+        assert "net.bytes 10" in text
+
+    def test_render_prefix_filter(self, reg):
+        reg.inc("rpc.calls")
+        reg.inc("net.bytes")
+        assert "net.bytes" not in reg.render(prefixes=["rpc"])
+
+    def test_clear(self, reg):
+        reg.inc("m")
+        reg.observe("h", 1.0)
+        reg.clear()
+        assert reg.snapshot() == {}

@@ -1,0 +1,119 @@
+"""Unit tests for hierarchical virtual-time trace spans."""
+
+import pytest
+
+from repro.obs.trace import Tracer
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(SimClock())
+
+
+class TestNesting:
+    def test_children_nest_under_parent(self, tracer):
+        with tracer.trace("root"):
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+            with tracer.span("c"):
+                pass
+        root = tracer.last()
+        assert [c.name for c in root.children] == ["a", "c"]
+        assert [c.name for c in root.children[0].children] == ["b"]
+
+    def test_durations_track_the_clock(self, tracer):
+        clock = tracer.clock
+        with tracer.trace("root"):
+            clock.advance(1.0)
+            with tracer.span("child"):
+                clock.advance(2.0)
+            clock.advance(0.5)
+        root = tracer.last()
+        assert root.duration == pytest.approx(3.5)
+        assert root.children[0].duration == pytest.approx(2.0)
+        assert root.self_duration == pytest.approx(1.5)
+
+    def test_find_and_walk(self, tracer):
+        with tracer.trace("root"):
+            with tracer.span("x"):
+                with tracer.span("x"):
+                    pass
+        root = tracer.last()
+        assert len(root.find("x")) == 2
+        assert len(list(root.walk())) == 3
+
+
+class TestDemandDriven:
+    def test_span_is_noop_outside_a_trace(self, tracer):
+        with tracer.span("orphan") as sp:
+            assert sp is None
+        tracer.add("messages", 5)
+        assert tracer.traces == []
+        assert not tracer.active
+
+    def test_active_only_inside_trace(self, tracer):
+        assert not tracer.active
+        with tracer.trace("root"):
+            assert tracer.active
+            assert tracer.current.name == "root"
+        assert not tracer.active
+
+
+class TestCounters:
+    def test_add_hits_innermost_span(self, tracer):
+        with tracer.trace("root"):
+            tracer.add("messages")
+            with tracer.span("child"):
+                tracer.add("messages")
+                tracer.add("bytes", 100)
+        root = tracer.last()
+        assert root.counters == {"messages": 1}
+        assert root.total("messages") == 2
+        assert root.total("bytes") == 100
+
+
+class TestErrors:
+    def test_exception_recorded_and_propagated(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.trace("root"):
+                with tracer.span("child"):
+                    raise ValueError("boom")
+        root = tracer.last()
+        assert "boom" in root.children[0].error
+        assert "boom" in root.error
+
+
+class TestBoundedKeep:
+    def test_old_traces_dropped(self):
+        tracer = Tracer(SimClock(), keep=3)
+        for i in range(5):
+            with tracer.trace(f"t{i}"):
+                pass
+        assert len(tracer.traces) == 3
+        assert tracer.dropped == 2
+        assert tracer.last().name == "t4"
+
+
+class TestExport:
+    def test_events_flatten_with_depth(self, tracer):
+        with tracer.trace("root", path="/z/f"):
+            with tracer.span("child"):
+                pass
+        events = tracer.events(tracer.last())
+        assert [(e["name"], e["depth"]) for e in events] == [
+            ("root", 0), ("child", 1)]
+        assert events[0]["attrs"] == {"path": "/z/f"}
+
+    def test_render_shows_tree(self, tracer):
+        with tracer.trace("root"):
+            with tracer.span("child", host="h0"):
+                tracer.add("bytes", 7)
+        text = tracer.render()
+        assert "root" in text
+        assert "  child host=h0" in text
+        assert "bytes=7" in text
+
+    def test_render_without_traces(self, tracer):
+        assert "no trace" in tracer.render()
