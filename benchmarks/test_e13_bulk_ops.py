@@ -1,0 +1,189 @@
+"""E13 — extension: bulk operations amortize round trips and catalog ops.
+
+Paper claims (Sections 2, 5):
+  aggregation "decreas[es] latency when accessed over a wide area
+  network"; MCAT is "scalable to handle millions of datasets".
+
+Per-file ingest pays one RPC round trip per file plus per-row catalog
+overhead; the bulk data plane (``bulk_ingest`` / ``bulk_get`` /
+``bulk_query_metadata``, surfaced as ``Sbload``) ships N files as ONE
+pipelined request/response pair and registers all rows in single
+charged catalog blocks — the Sbload-style batching the real SRB lineage
+(and AMGA's streamed catalog protocol) grew for exactly this bottleneck.
+
+Reproduced series:
+  (a) ingest N x 4 KiB files per-file vs bulk on the default WAN link,
+      sweeping N — the speedup grows with N and reaches >=5x at N=160,
+      while the bulk control plane stays at O(1) messages;
+  (b) ablation: the same sweep at fixed N across link latencies — the
+      win grows with latency (it is a round-trip effect, not a
+      bandwidth one);
+  (c) working-set retrieval and metadata query, per-file vs bulk;
+  (d) catalog-state parity: bulk ingest leaves byte-identical rows
+      (paths, sizes, checksums, replicas, metadata triples) to N
+      individual ingests.
+"""
+
+import pytest
+
+from repro.bench import ResultTable, assert_monotone
+from repro.net.simnet import CAMPUS, TRANSCON, WAN, LinkSpec
+from repro.workload import small_files
+
+from helpers import admin_client, flat_fed, record_table
+
+COLL = "/demozone/bench"
+
+
+def build(default_link=None):
+    """One MCAT server + FS resource on h0; the client calls from h1,
+    so every RPC crosses the configured link."""
+    fed = flat_fed(n_hosts=2, default_link=default_link)
+    client = admin_client(fed)
+    from repro.core import SrbClient
+    remote = SrbClient(fed, "h1", "s0", "srbadmin@sdsc", "hunter2")
+    remote.login()
+    return fed, remote
+
+
+def ingest_perfile(fed, client, files):
+    t0 = fed.clock.now
+    for f in files:
+        client.ingest(f"{COLL}/{f.name}", f.content,
+                      metadata={"series": "e13"})
+    return fed.clock.now - t0
+
+
+def ingest_bulk(fed, client, files):
+    items = [{"path": f"{COLL}/{f.name}", "data": f.content,
+              "metadata": {"series": "e13"}} for f in files]
+    t0 = fed.clock.now
+    results = client.bulk_ingest(items)
+    assert all("oid" in r for r in results)
+    return fed.clock.now - t0
+
+
+def test_e13_ingest_sweep(benchmark):
+    table = ResultTable(
+        "E13a bulk vs per-file WAN ingest (4 KiB files)",
+        ["files", "per-file (s)", "bulk (s)", "speedup",
+         "bulk msgs", "per-file msgs"])
+    speedups, bulk_msgs = [], []
+    for n in (10, 40, 160):
+        fed1, c1 = build()
+        fed2, c2 = build()
+        files = list(small_files(n, size=4096))
+        perfile = ingest_perfile(fed1, c1, files)
+        m0 = fed2.network.messages_sent
+        bulk = ingest_bulk(fed2, c2, files)
+        msgs = fed2.network.messages_sent - m0
+        table.add_row([n, perfile, bulk, f"{perfile / bulk:.1f}x",
+                       msgs, fed1.network.messages_sent])
+        speedups.append(perfile / bulk)
+        bulk_msgs.append(msgs)
+    record_table(benchmark, table)
+
+    # the win grows with N and crosses the 5x bar at N=160
+    assert_monotone(speedups, increasing=True, tolerance=0.05)
+    assert speedups[-1] >= 5.0
+    # O(1) control plane: message count independent of batch size
+    assert len(set(bulk_msgs)) == 1
+
+    fed, client = build()
+    files = list(small_files(10, size=4096))
+    benchmark.pedantic(lambda: ingest_bulk(fed, client, files),
+                       rounds=1, iterations=1)
+
+
+def test_e13_latency_ablation(benchmark):
+    """Round trips are what's amortized: the bulk advantage grows with
+    link latency at fixed N and shrinks toward the byte-cost floor on a
+    fast nearby link."""
+    table = ResultTable(
+        "E13b bulk ingest advantage vs link latency (40 x 4 KiB)",
+        ["link", "latency (ms)", "per-file (s)", "bulk (s)", "speedup"])
+    speedups = []
+    # WAN bandwidth held fixed so only the round-trip cost varies
+    sweep = [(label, LinkSpec(latency_s=lat, bandwidth_bps=WAN.bandwidth_bps))
+             for label, lat in (("campus", CAMPUS.latency_s),
+                                ("wan", WAN.latency_s),
+                                ("transcon", TRANSCON.latency_s))]
+    for label, link in sweep:
+        fed1, c1 = build(default_link=link)
+        fed2, c2 = build(default_link=link)
+        files = list(small_files(40, size=4096))
+        perfile = ingest_perfile(fed1, c1, files)
+        bulk = ingest_bulk(fed2, c2, files)
+        table.add_row([label, link.latency_s * 1e3, perfile, bulk,
+                       f"{perfile / bulk:.1f}x"])
+        speedups.append(perfile / bulk)
+    record_table(benchmark, table)
+    assert_monotone(speedups, increasing=True, tolerance=0.05)
+
+    fed, client = build(default_link=TRANSCON)
+    files = list(small_files(5, size=4096))
+    benchmark.pedantic(lambda: ingest_bulk(fed, client, files),
+                       rounds=1, iterations=1)
+
+
+def test_e13_working_set_retrieval(benchmark):
+    """bulk_get / bulk_query_metadata: one round trip for the set."""
+    table = ResultTable(
+        "E13c working-set retrieval of 40 x 4 KiB files",
+        ["operation", "per-file (s)", "bulk (s)", "speedup"])
+    fed, client = build()
+    files = list(small_files(40, size=4096))
+    ingest_bulk(fed, client, files)
+    paths = [f"{COLL}/{f.name}" for f in files]
+
+    t0 = fed.clock.now
+    per_get = [client.get(p) for p in paths]
+    perfile_get = fed.clock.now - t0
+    t0 = fed.clock.now
+    bulk_got = client.bulk_get(paths)
+    bulk_get_s = fed.clock.now - t0
+    assert [r["data"] for r in bulk_got] == per_get
+    table.add_row(["get", perfile_get, bulk_get_s,
+                   f"{perfile_get / bulk_get_s:.1f}x"])
+
+    t0 = fed.clock.now
+    for p in paths:
+        client.get_metadata(p)
+    perfile_md = fed.clock.now - t0
+    t0 = fed.clock.now
+    bulk_md = client.bulk_query_metadata(paths)
+    bulk_md_s = fed.clock.now - t0
+    assert all(row["metadata"] for row in bulk_md)
+    table.add_row(["query_metadata", perfile_md, bulk_md_s,
+                   f"{perfile_md / bulk_md_s:.1f}x"])
+    record_table(benchmark, table)
+
+    assert perfile_get / bulk_get_s > 2.0
+    assert perfile_md / bulk_md_s > 2.0
+    benchmark.pedantic(lambda: client.bulk_get(paths[:5]),
+                       rounds=1, iterations=1)
+
+
+def test_e13_catalog_parity():
+    """Bulk ingest must be an optimization, not a semantic change: the
+    catalog rows it leaves are identical to N individual ingests."""
+    def state(bulk):
+        fed, client = build()
+        files = list(small_files(12, size=1024))
+        if bulk:
+            ingest_bulk(fed, client, files)
+        else:
+            ingest_perfile(fed, client, files)
+        mcat = fed.mcat_server.mcat
+        rows = []
+        for f in files:
+            obj = mcat.get_object(f"{COLL}/{f.name}")
+            reps = [(r["replica_num"], r["resource"], r["size"],
+                     r["is_dirty"]) for r in mcat.replicas(obj["oid"])]
+            md = sorted((m["attr"], m["value"], m["meta_class"])
+                        for m in mcat.get_metadata("object", obj["oid"]))
+            rows.append((obj["path"], obj["kind"], obj["size"],
+                         obj["checksum"], obj["owner"], reps, md))
+        return rows
+
+    assert state(bulk=True) == state(bulk=False)

@@ -120,6 +120,37 @@ class SrbClient:
         return self._call("delete", ticket=self.ticket, path=path,
                           replica_num=replica_num)
 
+    # -- bulk operations -----------------------------------------------------
+
+    def bulk_ingest(self, items: Sequence[Dict[str, Any]],
+                    resource: Optional[str] = None,
+                    container: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Ingest many files in one round trip (Sbload's data plane).
+
+        Each item is ``{"path", "data"}`` plus optional
+        ``data_type``/``metadata``.  Returns per-item results aligned
+        with ``items`` — failed items carry ``error``/``error_type``
+        instead of ``oid``.
+        """
+        return self._call("bulk_ingest", ticket=self.ticket,
+                          items=list(items), resource=resource,
+                          container=container)
+
+    def bulk_get(self, targets: Sequence[str],
+                 via_container: Optional[str] = None
+                 ) -> List[Dict[str, Any]]:
+        """Fetch a working set of paths in one round trip."""
+        return self._call("bulk_get", ticket=self.ticket,
+                          targets=list(targets),
+                          via_container=via_container)
+
+    def bulk_query_metadata(self, targets: Sequence[str],
+                            meta_class: Optional[str] = None
+                            ) -> List[Dict[str, Any]]:
+        """Metadata for many paths in one round trip."""
+        return self._call("bulk_query_metadata", ticket=self.ticket,
+                          targets=list(targets), meta_class=meta_class)
+
     # -- registration -----------------------------------------------------------
 
     def register_file(self, path: str, resource: str, physical_path: str,

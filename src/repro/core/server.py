@@ -347,6 +347,7 @@ class SrbServer:
                 data_type=data_type, size=len(data),
                 checksum=content_checksum(data))
 
+            created: List[Tuple[PhysicalResource, str]] = []
             try:
                 if container is not None:
                     cont = self.containers.get_container(container)
@@ -368,19 +369,314 @@ class SrbServer:
                         self._resource_session(res)
                         self._push_to_resource(res, len(data))
                         res.driver.create(phys, data)
+                        created.append((res, phys))
                         self.mcat.add_replica(oid, res.name, phys, len(data),
                                               now=self.now)
             except SrbError:
-                self.mcat.delete_object(oid)      # no half-ingested objects
+                # no half-ingested objects — and no orphaned physical
+                # bytes: files already written on earlier members of a
+                # logical resource are removed too
+                for res, phys in created:
+                    if res.driver.exists(phys):
+                        res.driver.delete(phys)
+                self.mcat.delete_object(oid)
                 raise
 
-            for attr, value in effective_md.items():
-                self.mcat.add_metadata("object", oid, attr, value,
-                                       by=str(principal), now=self.now)
+            if effective_md:
+                self.mcat.add_metadata_bulk(
+                    [{"target_kind": "object", "target_id": oid,
+                      "attr": attr, "value": value}
+                     for attr, value in effective_md.items()],
+                    by=str(principal), now=self.now)
             self._audit(principal, "ingest", path, detail=f"{len(data)}B")
             if sp is not None:
                 sp.incr("payload_bytes", len(data))
             return oid
+
+    # ------------------------------------------------------------------
+    # bulk operations (the Sbload-style amortized data plane)
+    # ------------------------------------------------------------------
+
+    def bulk_ingest(self, ticket: Ticket,
+                    items: Sequence[Dict[str, Any]],
+                    resource: Optional[str] = None,
+                    container: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Ingest N files in one brokered operation.
+
+        ``items`` is a sequence of dicts with ``path`` and ``data`` plus
+        optional ``data_type``/``metadata``.  The batch pays one MCAT
+        hop, one storage session + one pipelined push per resource, and
+        one bulk catalog write each for object rows, replica rows and
+        metadata triples — instead of per-file round trips and per-row
+        ``QUERY_OVERHEAD_S``.  Returns a list aligned with ``items``:
+        ``{"path", "oid"}`` on success or ``{"path", "error",
+        "error_type"}`` for items that failed (other items proceed, and
+        a failed item's partial physical writes are rolled back).
+
+        A bad *target* (unknown resource/container, resource down, no
+        write access on the container) fails the whole batch before any
+        catalog write, since no item could succeed.
+        """
+        from repro.errors import NoSuchCollection
+        from repro.mcat.catalog import apply_structural
+        with self._op("bulk_ingest", items=len(items)) as sp:
+            principal = self._auth(ticket)
+            self._mcat_hop()        # one catalog hop for the whole batch
+            self.obs.metrics.inc("bulk.batches", op="ingest")
+            self.obs.metrics.inc("bulk.items", len(items), op="ingest")
+            results: List[Optional[Dict[str, Any]]] = [None] * len(items)
+
+            def fail(i: int, path: str, exc: SrbError) -> None:
+                results[i] = {"path": path, "error": str(exc),
+                              "error_type": type(exc).__name__}
+
+            # phase 1: namespace + access + structural metadata, charged
+            # once per distinct collection instead of once per file
+            coll_state: Dict[str, Any] = {}
+            prepared: List[List[Any]] = []
+            for i, item in enumerate(items):
+                raw_path = str(item.get("path", ""))
+                try:
+                    path = paths.normalize(raw_path)
+                    self._require_local(path, "bulk_ingest")
+                    data = item["data"]
+                    coll = paths.dirname(path)
+                    if coll not in coll_state:
+                        try:
+                            if not self.mcat.collection_exists(coll):
+                                raise NoSuchCollection(
+                                    f"no collection {coll!r}")
+                            self.access.require_collection(principal, coll,
+                                                           "write")
+                            coll_state[coll] = self.mcat.structural_for(coll)
+                        except SrbError as exc:
+                            coll_state[coll] = exc
+                    state = coll_state[coll]
+                    if isinstance(state, SrbError):
+                        raise state
+                    effective_md = apply_structural(
+                        state, item.get("metadata") or {}, coll)
+                    prepared.append(
+                        [i, path, data, item.get("data_type"), effective_md])
+                except SrbError as exc:
+                    fail(i, raw_path, exc)
+
+            # target resolution happens before any catalog write, so a
+            # misconfigured target fails the batch with nothing to undo
+            res_list: List[PhysicalResource] = []
+            cont_path: Optional[str] = None
+            if container is not None:
+                cont_path = paths.normalize(container)
+                cont = self.containers.get_container(cont_path)
+                self.access.require_object(principal, cont, "write")
+            else:
+                resource = resource or self.federation.default_resource
+                if resource is None:
+                    raise NoSuchResource("no resource given and no default")
+                res_list = self.resources.resolve(resource)
+                for res in res_list:
+                    if not self.resources.available(res.name):
+                        raise ResourceUnavailable(
+                            f"resource {res.name!r} is down")
+
+            # phase 2: one bulk catalog write registers every object row
+            specs = [{"path": p, "kind": "data", "data_type": dt,
+                      "size": len(d), "checksum": content_checksum(d)}
+                     for (_i, p, d, dt, _md) in prepared]
+            oids = self.mcat.create_objects(specs, owner=str(principal),
+                                            now=self.now)
+            alive: List[List[Any]] = []
+            for (i, path, data, _dt, md), oid in zip(prepared, oids):
+                if isinstance(oid, SrbError):
+                    fail(i, path, oid)
+                else:
+                    alive.append([i, path, data, md, oid])
+
+            # phase 3: the data leg
+            total_bytes = 0
+            if container is not None:
+                survivors = []
+                for entry in alive:
+                    i, path, data, _md, oid = entry
+                    try:
+                        cont = self.containers.get_container(cont_path)
+                        self.containers.append_member(
+                            cont, oid, data, now=self.now,
+                            server_host=self.host)
+                    except SrbError as exc:
+                        self.mcat.delete_object(oid)
+                        fail(i, path, exc)
+                        continue
+                    total_bytes += len(data)
+                    survivors.append(entry)
+                alive = survivors
+            else:
+                written: Dict[int, List[Tuple[PhysicalResource, str]]] = \
+                    {e[0]: [] for e in alive}
+                for res in res_list:
+                    if not alive:
+                        break
+                    # one session + one pipelined push per resource for
+                    # the whole batch, streams=k as on single transfers
+                    self._resource_session(res)
+                    self._push_to_resource(res,
+                                           sum(len(e[2]) for e in alive))
+                    survivors = []
+                    for entry in alive:
+                        i, path, data, _md, oid = entry
+                        coll = paths.dirname(path)
+                        phys = (f"/srb/{coll.strip('/').replace('/', '_')}/"
+                                f"{oid}-{paths.basename(path)}")
+                        try:
+                            res.driver.create(phys, data)
+                        except SrbError as exc:
+                            for w_res, w_phys in written[i]:
+                                if w_res.driver.exists(w_phys):
+                                    w_res.driver.delete(w_phys)
+                            self.mcat.delete_object(oid)
+                            fail(i, path, exc)
+                            continue
+                        written[i].append((res, phys))
+                        survivors.append(entry)
+                    alive = survivors
+                replica_specs = []
+                for i, path, data, _md, oid in alive:
+                    total_bytes += len(data)
+                    for w_res, w_phys in written[i]:
+                        replica_specs.append(
+                            {"oid": oid, "resource": w_res.name,
+                             "physical_path": w_phys, "size": len(data)})
+                if replica_specs:
+                    self.mcat.add_replicas(replica_specs, now=self.now)
+
+            # phase 4: one bulk catalog write attaches every triple
+            md_specs = [{"target_kind": "object", "target_id": oid,
+                         "attr": attr, "value": value}
+                        for (_i, _p, _d, md, oid) in alive
+                        for attr, value in md.items()]
+            if md_specs:
+                self.mcat.add_metadata_bulk(md_specs, by=str(principal),
+                                            now=self.now)
+
+            for i, path, _data, _md, oid in alive:
+                results[i] = {"path": path, "oid": oid}
+            self._audit(principal, "bulk-ingest", f"{len(items)} items",
+                        detail=f"{total_bytes}B")
+            if sp is not None:
+                sp.incr("payload_bytes", total_bytes)
+            return results
+
+    def bulk_get(self, ticket: Ticket, targets: Sequence[str],
+                 via_container: Optional[str] = None
+                 ) -> List[Dict[str, Any]]:
+        """Retrieve a working set of N objects in one brokered operation.
+
+        Returns a list aligned with ``targets``: ``{"path", "data"}`` or
+        ``{"path", "error", "error_type"}`` per item.  With
+        ``via_container``, the container's bytes are prefetched once
+        (one storage session + one bulk pull) and members of that
+        container are served as local slices — the aggregation win the
+        paper claims for WAN working sets.
+        """
+        with self._op("bulk_get", items=len(targets)) as sp:
+            principal = self._auth(ticket)
+            self._mcat_hop()
+            self.obs.metrics.inc("bulk.batches", op="get")
+            self.obs.metrics.inc("bulk.items", len(targets), op="get")
+            prefetched: Optional[Dict[int, bytes]] = None
+            if via_container is not None:
+                cont = self.containers.get_container(
+                    paths.normalize(via_container))
+                self.access.require_object(principal, cont, "read")
+                prefetched = self._prefetch_container(int(cont["oid"]))
+            results: List[Dict[str, Any]] = []
+            total = 0
+            for raw in targets:
+                try:
+                    path = paths.normalize(str(raw))
+                    obj = self.mcat.find_object(path)
+                    if obj is None:
+                        raise NoSuchObject(f"no object {path!r}")
+                    obj = self._resolve_link(obj)
+                    self.access.require_object(principal, obj, "read")
+                    self.locks.check_read(int(obj["oid"]), principal)
+                    if obj["kind"] not in ("data", "registered", "container"):
+                        raise UnsupportedOperation(
+                            f"bulk_get cannot retrieve kind {obj['kind']!r}")
+                    data = None
+                    if prefetched is not None:
+                        data = prefetched.get(int(obj["oid"]))
+                    if data is None:
+                        data = self._get_bytes(obj, None)
+                    total += len(data)
+                    results.append({"path": path, "data": data})
+                except SrbError as exc:
+                    results.append({"path": str(raw), "error": str(exc),
+                                    "error_type": type(exc).__name__})
+            self._audit(principal, "bulk-get", f"{len(targets)} items",
+                        detail=f"{total}B")
+            if sp is not None:
+                sp.incr("payload_bytes", total)
+            return results
+
+    def _prefetch_container(self, coid: int) -> Dict[int, bytes]:
+        """Fetch a container's bytes once; map member oid -> its slice."""
+        members = self.mcat.container_members(coid)
+        if not members:
+            return {}
+        chain = self.federation.selector.order(self.mcat.replicas(coid),
+                                               from_host=self.host)
+        for rep in [r for r in chain if not r["is_dirty"]]:
+            res = self.resources.physical(rep["resource"])
+            if not self.resources.available(res.name):
+                continue
+            try:
+                self._resource_session(res)
+                blob = res.driver.read_all(rep["physical_path"])
+            except (HostUnreachable, ResourceUnavailable):
+                continue
+            self._pull_from_resource(res, len(blob))
+            return {int(m["oid"]): blob[int(m["offset"]):
+                                        int(m["offset"]) + int(m["size"])]
+                    for m in members}
+        return {}            # fall back to per-item replica reads
+
+    def bulk_query_metadata(self, ticket: Ticket, targets: Sequence[str],
+                            meta_class: Optional[str] = None
+                            ) -> List[Dict[str, Any]]:
+        """Metadata of N paths in one brokered operation: per-item
+        resolution and ACL checks, then a single bulk catalog read."""
+        with self._op("bulk_query_metadata", items=len(targets)):
+            principal = self._auth(ticket)
+            self._mcat_hop()
+            self.obs.metrics.inc("bulk.batches", op="query_metadata")
+            self.obs.metrics.inc("bulk.items", len(targets),
+                                 op="query_metadata")
+            results: List[Dict[str, Any]] = []
+            lookups: List[Tuple[int, str, int]] = []
+            for raw in targets:
+                try:
+                    path = paths.normalize(str(raw))
+                    kind, tid, row = self._target_for_metadata(path)
+                    if kind == "object":
+                        self.access.require_object(principal, row, "read")
+                    else:
+                        self.access.require_collection(principal, path,
+                                                       "read")
+                    lookups.append((len(results), kind, tid))
+                    results.append({"path": path, "metadata": []})
+                except SrbError as exc:
+                    results.append({"path": str(raw), "error": str(exc),
+                                    "error_type": type(exc).__name__})
+            if lookups:
+                rows = self.mcat.get_metadata_bulk(
+                    [(kind, tid) for _idx, kind, tid in lookups],
+                    meta_class=meta_class)
+                for (idx, _kind, _tid), md in zip(lookups, rows):
+                    results[idx]["metadata"] = md
+            self._audit(principal, "bulk-query-metadata",
+                        f"{len(targets)} items")
+            return results
 
     # ------------------------------------------------------------------
     # registration (the five registered-object kinds)

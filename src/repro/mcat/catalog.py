@@ -30,6 +30,7 @@ from repro.errors import (
     NoSuchObject,
     NoSuchReplica,
     NotEmpty,
+    SrbError,
     VocabularyViolation,
 )
 from repro.mcat.dublin_core import SchemaRegistry
@@ -38,6 +39,36 @@ from repro.obs import Observability
 from repro.util import paths
 from repro.util.clock import SimClock
 from repro.util.ids import IdFactory
+
+
+def apply_structural(reqs: Sequence[Dict[str, Any]],
+                     provided: Dict[str, str],
+                     coll_path: str) -> Dict[str, str]:
+    """Apply structural requirement rows to a provided attribute dict.
+
+    Pure function so bulk ingest can fetch the (charged) requirement
+    rows once per collection and validate N items against them.
+    """
+    effective = dict(provided)
+    missing = []
+    for req in reqs:
+        attr = req["attr"]
+        vocab = req["vocabulary"].split("|") if req["vocabulary"] else None
+        if attr not in effective:
+            if req["default_value"] is not None:
+                effective[attr] = req["default_value"]
+            elif req["mandatory"]:
+                missing.append(attr)
+                continue
+            else:
+                continue
+        if vocab is not None and effective[attr] not in vocab:
+            raise VocabularyViolation(
+                f"{attr}={effective[attr]!r} not in vocabulary {vocab} "
+                f"for collection {coll_path!r}")
+    if missing:
+        raise MandatoryMetadataMissing(missing)
+    return effective
 
 
 def _num(value: Optional[str]) -> Optional[float]:
@@ -75,6 +106,11 @@ class Mcat:
         # and _rows_scanned runs on every catalog op (profiled hot path)
         self._tables = [self.db.table(n) for n in self.db.tables()]
         self.schemas = SchemaRegistry()
+        # path -> row-id cache for collection resolution.  Row ids are
+        # stable (tombstone deletes), so an entry stays valid until the
+        # collection is removed or a subtree rename rewrites paths.
+        self._coll_rid_cache: Dict[str, int] = {}
+        self.cid_cache_hits = 0
         # root and zone collection exist from the start
         self._insert_collection("/", None, owner="srb@localhost", now=0.0)
         self._insert_collection(f"/{zone}", "/", owner="srb@localhost", now=0.0)
@@ -108,10 +144,11 @@ class Mcat:
     def _insert_collection(self, path: str, parent: Optional[str],
                            owner: str, now: float) -> int:
         cid = self.ids.next_int("cid")
-        self.db.table("collections").insert({
+        rid = self.db.table("collections").insert({
             "cid": cid, "path": path, "parent": parent,
             "owner": owner, "created_at": now,
         })
+        self._coll_rid_cache[path] = rid
         return cid
 
     def create_collection(self, path: str, owner: str, now: float) -> int:
@@ -128,7 +165,14 @@ class Mcat:
             return self._insert_collection(path, parent, owner, now)
 
     def _collection_rid(self, path: str) -> List[int]:
-        return self.db.table("collections").lookup_eq("path", path)
+        rid = self._coll_rid_cache.get(path)
+        if rid is not None:
+            self.cid_cache_hits += 1
+            return [rid]
+        rids = self.db.table("collections").lookup_eq("path", path)
+        if rids:
+            self._coll_rid_cache[path] = rids[0]
+        return rids
 
     def collection_exists(self, path: str) -> bool:
         with self._charged():
@@ -175,6 +219,7 @@ class Mcat:
             cid = t.value(rids[0], "cid")
             self._purge_metadata("collection", cid)
             t.delete_row(rids[0])
+            self._coll_rid_cache.pop(path, None)
 
     def rename_subtree(self, old_prefix: str, new_prefix: str) -> int:
         """Rewrite every collection and object path under ``old_prefix``.
@@ -186,6 +231,8 @@ class Mcat:
         with self._charged():
             old_prefix = paths.normalize(old_prefix)
             new_prefix = paths.normalize(new_prefix)
+            # paths under old_prefix are about to be rewritten in place
+            self._coll_rid_cache.clear()
             colls = self.db.table("collections")
             objs = self.db.table("objects")
             count = 0
@@ -225,26 +272,59 @@ class Mcat:
                       checksum: Optional[str] = None) -> int:
         """Register a new object row; the collection must exist."""
         with self._charged():
-            if kind not in OBJECT_KINDS:
-                raise MetadataError(f"unknown object kind {kind!r}")
-            path = paths.normalize(path)
-            coll = paths.dirname(path)
-            if not self._collection_rid(coll):
-                raise NoSuchCollection(f"no collection {coll!r}")
-            if self._object_rid(path) or self._collection_rid(path):
-                raise AlreadyExists(f"path {path!r} already in use")
-            oid = self.ids.next_int("oid")
-            self.db.table("objects").insert({
-                "oid": oid, "path": path, "coll": coll,
-                "name": paths.basename(path), "kind": kind,
-                "data_type": data_type, "owner": owner,
-                "created_at": now, "modified_at": now, "size": size,
-                "target": target, "template": template,
-                "resource_hint": resource_hint,
-                "version": 1, "checked_out_by": None,
-                "checksum": checksum,
-            })
-            return oid
+            return self._create_object_row(
+                path, kind, owner, now, data_type=data_type, size=size,
+                target=target, template=template,
+                resource_hint=resource_hint, checksum=checksum)
+
+    def _create_object_row(self, path: str, kind: str, owner: str,
+                           now: float,
+                           data_type: Optional[str] = None,
+                           size: Optional[int] = None,
+                           target: Optional[str] = None,
+                           template: Optional[str] = None,
+                           resource_hint: Optional[str] = None,
+                           checksum: Optional[str] = None) -> int:
+        if kind not in OBJECT_KINDS:
+            raise MetadataError(f"unknown object kind {kind!r}")
+        path = paths.normalize(path)
+        coll = paths.dirname(path)
+        if not self._collection_rid(coll):
+            raise NoSuchCollection(f"no collection {coll!r}")
+        if self._object_rid(path) or self._collection_rid(path):
+            raise AlreadyExists(f"path {path!r} already in use")
+        oid = self.ids.next_int("oid")
+        self.db.table("objects").insert({
+            "oid": oid, "path": path, "coll": coll,
+            "name": paths.basename(path), "kind": kind,
+            "data_type": data_type, "owner": owner,
+            "created_at": now, "modified_at": now, "size": size,
+            "target": target, "template": template,
+            "resource_hint": resource_hint,
+            "version": 1, "checked_out_by": None,
+            "checksum": checksum,
+        })
+        return oid
+
+    def create_objects(self, specs: Sequence[Dict[str, Any]], owner: str,
+                       now: float) -> List[Any]:
+        """Bulk :meth:`create_object`: N rows under one charged block.
+
+        Each spec is the keyword dict of one ``create_object`` call
+        (minus ``owner``/``now``).  Returns a list aligned with ``specs``
+        holding the new oid, or the :class:`SrbError` that item raised —
+        one invalid item does not poison the batch (rows inserted as we
+        go, so intra-batch duplicate paths are caught too).
+        """
+        with self._charged():
+            results: List[Any] = []
+            for spec in specs:
+                try:
+                    results.append(
+                        self._create_object_row(owner=owner, now=now, **spec))
+                except SrbError as exc:
+                    results.append(exc)
+            return results
 
     def _object_rid(self, path: str) -> List[int]:
         return self.db.table("objects").lookup_eq("path", path)
@@ -352,16 +432,35 @@ class Mcat:
                     container_oid: Optional[int] = None,
                     offset: Optional[int] = None) -> int:
         with self._charged():
-            existing = self._replica_rows(oid)
-            replica_num = 1 + max((r["replica_num"] for r in existing), default=0)
-            self.db.table("replicas").insert({
-                "rid": self.ids.next_int("rid"), "oid": oid,
-                "replica_num": replica_num, "resource": resource,
-                "physical_path": physical_path, "size": size,
-                "created_at": now, "is_dirty": False,
-                "container_oid": container_oid, "offset": offset,
-            })
-            return replica_num
+            return self._add_replica_row(oid, resource, physical_path, size,
+                                         now, container_oid=container_oid,
+                                         offset=offset)
+
+    def _add_replica_row(self, oid: int, resource: str, physical_path: str,
+                         size: int, now: float,
+                         container_oid: Optional[int] = None,
+                         offset: Optional[int] = None) -> int:
+        existing = self._replica_rows(oid)
+        replica_num = 1 + max((r["replica_num"] for r in existing), default=0)
+        self.db.table("replicas").insert({
+            "rid": self.ids.next_int("rid"), "oid": oid,
+            "replica_num": replica_num, "resource": resource,
+            "physical_path": physical_path, "size": size,
+            "created_at": now, "is_dirty": False,
+            "container_oid": container_oid, "offset": offset,
+        })
+        return replica_num
+
+    def add_replicas(self, specs: Sequence[Dict[str, Any]],
+                     now: float) -> List[int]:
+        """Bulk :meth:`add_replica`: N rows under one charged block.
+
+        Each spec is the keyword dict of one ``add_replica`` call (minus
+        ``now``).  Strict — callers pass already-validated writes, so any
+        failure raises.  Numbering is per-object max+1 exactly as in the
+        single-row path (a spec list may repeat an oid)."""
+        with self._charged():
+            return [self._add_replica_row(now=now, **spec) for spec in specs]
 
     def _replica_rows(self, oid: int) -> List[Dict[str, Any]]:
         t = self.db.table("replicas")
@@ -422,45 +521,100 @@ class Mcat:
     # metadata (five classes; system metadata lives on the object row)
     # ------------------------------------------------------------------
 
+    def _check_metadata_spec(self, target_kind: str, attr: str,
+                             value: Optional[str], meta_class: str,
+                             schema_name: Optional[str]) -> None:
+        if target_kind not in ("object", "collection"):
+            raise MetadataError(f"bad metadata target kind {target_kind!r}")
+        if meta_class not in ("user", "type", "file-based"):
+            raise MetadataError(f"bad metadata class {meta_class!r}")
+        if not attr:
+            raise MetadataError("metadata attribute name may not be empty")
+        if meta_class == "type":
+            schema = self.schemas.get(schema_name or "")
+            element = schema.element(attr)
+            if value is not None:
+                element.check(value)
+
+    def _insert_metadata_row(self, target_kind: str, target_id: int,
+                             attr: str, value: Optional[str], by: str,
+                             now: float, units: Optional[str],
+                             meta_class: str,
+                             schema_name: Optional[str]) -> int:
+        mid = self.ids.next_int("mid")
+        self.db.table("metadata").insert({
+            "mid": mid, "target_kind": target_kind, "target_id": target_id,
+            "meta_class": meta_class, "schema_name": schema_name,
+            "attr": attr, "value": value, "value_num": _num(value),
+            "units": units, "created_by": by, "created_at": now,
+        })
+        return mid
+
     def add_metadata(self, target_kind: str, target_id: int, attr: str,
                      value: Optional[str], by: str, now: float,
                      units: Optional[str] = None,
                      meta_class: str = "user",
                      schema_name: Optional[str] = None) -> int:
         with self._charged():
-            if target_kind not in ("object", "collection"):
-                raise MetadataError(f"bad metadata target kind {target_kind!r}")
-            if meta_class not in ("user", "type", "file-based"):
-                raise MetadataError(f"bad metadata class {meta_class!r}")
-            if not attr:
-                raise MetadataError("metadata attribute name may not be empty")
-            if meta_class == "type":
-                schema = self.schemas.get(schema_name or "")
-                element = schema.element(attr)
-                if value is not None:
-                    element.check(value)
-            mid = self.ids.next_int("mid")
-            self.db.table("metadata").insert({
-                "mid": mid, "target_kind": target_kind, "target_id": target_id,
-                "meta_class": meta_class, "schema_name": schema_name,
-                "attr": attr, "value": value, "value_num": _num(value),
-                "units": units, "created_by": by, "created_at": now,
-            })
-            return mid
+            self._check_metadata_spec(target_kind, attr, value, meta_class,
+                                      schema_name)
+            return self._insert_metadata_row(target_kind, target_id, attr,
+                                             value, by, now, units,
+                                             meta_class, schema_name)
+
+    def add_metadata_bulk(self, specs: Sequence[Dict[str, Any]], by: str,
+                          now: float) -> List[int]:
+        """Bulk :meth:`add_metadata`: N triples under one charged block.
+
+        Each spec holds ``target_kind``, ``target_id``, ``attr``,
+        ``value`` and optionally ``units``/``meta_class``/``schema_name``.
+        All specs are validated before any row is inserted, so a bad spec
+        raises without leaving a partial batch behind.
+        """
+        with self._charged():
+            full = []
+            for spec in specs:
+                full.append({
+                    "target_kind": spec["target_kind"],
+                    "target_id": spec["target_id"],
+                    "attr": spec["attr"], "value": spec["value"],
+                    "units": spec.get("units"),
+                    "meta_class": spec.get("meta_class", "user"),
+                    "schema_name": spec.get("schema_name"),
+                })
+            for spec in full:
+                self._check_metadata_spec(spec["target_kind"], spec["attr"],
+                                          spec["value"], spec["meta_class"],
+                                          spec["schema_name"])
+            return [self._insert_metadata_row(by=by, now=now, **spec)
+                    for spec in full]
+
+    def _metadata_rows(self, target_kind: str, target_id: int,
+                       meta_class: Optional[str]) -> List[Dict[str, Any]]:
+        t = self.db.table("metadata")
+        rows = []
+        for rid in t.lookup_eq("target_id", target_id):
+            row = t.row_dict(rid)
+            if row["target_kind"] != target_kind:
+                continue
+            if meta_class is not None and row["meta_class"] != meta_class:
+                continue
+            rows.append(row)
+        return sorted(rows, key=lambda r: r["mid"])
 
     def get_metadata(self, target_kind: str, target_id: int,
                      meta_class: Optional[str] = None) -> List[Dict[str, Any]]:
         with self._charged():
-            t = self.db.table("metadata")
-            rows = []
-            for rid in t.lookup_eq("target_id", target_id):
-                row = t.row_dict(rid)
-                if row["target_kind"] != target_kind:
-                    continue
-                if meta_class is not None and row["meta_class"] != meta_class:
-                    continue
-                rows.append(row)
-            return sorted(rows, key=lambda r: r["mid"])
+            return self._metadata_rows(target_kind, target_id, meta_class)
+
+    def get_metadata_bulk(self, targets: Sequence[Any],
+                          meta_class: Optional[str] = None
+                          ) -> List[List[Dict[str, Any]]]:
+        """Metadata of N ``(target_kind, target_id)`` pairs under one
+        charged block — the read half of the bulk protocol."""
+        with self._charged():
+            return [self._metadata_rows(kind, tid, meta_class)
+                    for kind, tid in targets]
 
     def update_metadata(self, mid: int, value: Optional[str],
                         units: Optional[str] = None) -> None:
@@ -540,26 +694,8 @@ class Mcat:
 
         Returns the effective attribute dict an ingest should attach.
         """
-        effective = dict(provided)
-        missing = []
-        for req in self.structural_for(coll_path):
-            attr = req["attr"]
-            vocab = req["vocabulary"].split("|") if req["vocabulary"] else None
-            if attr not in effective:
-                if req["default_value"] is not None:
-                    effective[attr] = req["default_value"]
-                elif req["mandatory"]:
-                    missing.append(attr)
-                    continue
-                else:
-                    continue
-            if vocab is not None and effective[attr] not in vocab:
-                raise VocabularyViolation(
-                    f"{attr}={effective[attr]!r} not in vocabulary {vocab} "
-                    f"for collection {coll_path!r}")
-        if missing:
-            raise MandatoryMetadataMissing(missing)
-        return effective
+        return apply_structural(self.structural_for(coll_path), provided,
+                                coll_path)
 
     # ------------------------------------------------------------------
     # annotations

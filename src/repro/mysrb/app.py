@@ -176,6 +176,14 @@ class MySrbApp:
                                                   request.param("coll"))))
         if path == "/ingest" and method == "POST":
             return self._do_ingest(client, request)
+        if path == "/ingest-bulk" and method == "GET":
+            return Response(views.bulk_ingest_form(
+                client, request.param("coll"),
+                resources=self._resource_names(),
+                containers=self._container_paths(client,
+                                                  request.param("coll"))))
+        if path == "/ingest-bulk" and method == "POST":
+            return self._do_bulk_ingest(client, request)
         if path == "/mkcoll":
             coll = request.param("coll")
             name = request.param("name")
@@ -325,6 +333,26 @@ class MySrbApp:
         for attr, value, units in user_triples:
             client.add_metadata(target, attr, value, units=units)
         return Response.redirect(f"/open?path={views.H.url_quote(target)}")
+
+    def _do_bulk_ingest(self, client: SrbClient,
+                        request: Request) -> Response:
+        coll = request.param("coll")
+        items: List[Dict[str, Any]] = []
+        for i in range(1, 50):
+            name = request.form.get(f"name{i}")
+            if not name:
+                continue
+            items.append({"path": paths.join(coll, name),
+                          "data": request.form.get(f"content{i}",
+                                                   "").encode()})
+        if not items:
+            return Response.redirect(
+                f"/ingest-bulk?coll={views.H.url_quote(coll)}")
+        container = request.param("container")
+        results = client.bulk_ingest(
+            items, resource=request.param("resource") or None,
+            container=None if container in ("", "(none)") else container)
+        return Response(views.bulk_ingest_results(client, coll, results))
 
     def _do_metadata(self, client: SrbClient, request: Request) -> Response:
         p = request.param("path")

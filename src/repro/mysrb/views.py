@@ -251,10 +251,48 @@ def ingest_form(client: SrbClient, coll: str,
 
     top = (f"<h3>Ingest into {H.e(coll)}</h3>"
            "<p>Files from Unix, Windows and Macintosh can be ingested; "
-           "at this stage, only single file ingestion is supported.</p>")
+           "for many files at once use the "
+           f'<a href="/ingest-bulk?coll={H.url_quote(coll)}">multi-file '
+           "ingestion</a> form (one batched round trip).</p>")
     bottom = H.form("/ingest", "".join(fields), submit="Ingest")
     nav = H.nav_bar(client.username if client.ticket else None, coll)
     return H.page(f"Ingest into {coll}", top, bottom, nav=nav)
+
+
+def bulk_ingest_form(client: SrbClient, coll: str,
+                     resources: Sequence[str],
+                     containers: Sequence[str] = (),
+                     rows: int = 5) -> str:
+    """Multi-file ingestion: N name/content rows, one bulk_ingest call."""
+    fields = [H.hidden_field("coll", coll)]
+    fields.append(H.select_field("resource", "Logical resource",
+                                 list(resources)))
+    fields.append(H.select_field("container", "Container (overrides resource)",
+                                 ["(none)"] + list(containers)))
+    fields.append("<h4>Files</h4>")
+    for i in range(1, rows + 1):
+        fields.append(
+            f'<p>name <input type="text" name="name{i}" size="20"> '
+            f'contents <input type="text" name="content{i}" size="40"></p>')
+    top = (f"<h3>Multi-file ingest into {H.e(coll)}</h3>"
+           "<p>All files travel to the SRB server as a single batched "
+           "request; empty rows are skipped.</p>")
+    bottom = H.form("/ingest-bulk", "".join(fields), submit="Ingest all")
+    nav = H.nav_bar(client.username if client.ticket else None, coll)
+    return H.page(f"Bulk ingest into {coll}", top, bottom, nav=nav)
+
+
+def bulk_ingest_results(client: SrbClient, coll: str,
+                        results: Sequence[dict]) -> str:
+    """Per-item outcome of a multi-file ingestion."""
+    ok = sum(1 for r in results if "oid" in r)
+    rows = [(r["path"],
+             "ok" if "oid" in r else f"{r['error_type']}: {r['error']}")
+            for r in results]
+    top = f"<h3>Bulk ingest: {ok}/{len(results)} files loaded</h3>"
+    bottom = H.table(["path", "outcome"], rows)
+    nav = H.nav_bar(client.username if client.ticket else None, coll)
+    return H.page("Bulk ingest results", top, bottom, nav=nav)
 
 
 def metadata_form(client: SrbClient, path: str) -> str:

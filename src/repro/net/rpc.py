@@ -17,7 +17,7 @@ a production system would not leak arbitrary remote tracebacks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import HostUnreachable, RpcError, SrbError
 from repro.net.simnet import Network
@@ -40,6 +40,26 @@ class RpcStats:
             "response_bytes": self.response_bytes,
             "failures": self.failures,
         }
+
+
+@dataclass
+class BatchItemResult:
+    """Outcome of one item of a :meth:`ServiceRegistry.call_batch`.
+
+    Either ``ok`` with a ``value``, or failed with the marshalled
+    ``error`` (an :class:`SrbError` subclass, or :class:`RpcError` for
+    wrapped remote bugs).  A failed item never poisons its batch —
+    callers inspect results item by item, or :meth:`unwrap` to re-raise.
+    """
+
+    ok: bool
+    value: Any = None
+    error: Optional[Exception] = None
+
+    def unwrap(self) -> Any:
+        if not self.ok:
+            raise self.error
+        return self.value
 
 
 class ServiceRegistry:
@@ -141,3 +161,84 @@ class ServiceRegistry:
             if sp is not None:
                 sp.incr("response_bytes", resp_bytes)
         return result
+
+    def call_batch(self, src: str, dst: str, service: str,
+                   items: Sequence[Tuple[str, Dict[str, Any]]],
+                   /) -> List[BatchItemResult]:
+        """Invoke N methods of ``service`` as one pipelined message pair.
+
+        ``items`` is a sequence of ``(method, kwargs)`` requests.  The
+        whole batch travels as a single request message (summed payload
+        bytes, one link latency) and the results come back as a single
+        response message — the amortization that makes bulk operations
+        O(1) in round trips instead of O(N).
+
+        Errors are marshalled per item: an :class:`SrbError` raised by
+        item k is captured in its :class:`BatchItemResult` and the other
+        items still execute and return.  Only a transport failure on the
+        request leg (destination unreachable) fails the whole batch,
+        after charging the usual timeout.
+        """
+        handler = self.lookup(dst, service)
+        obs = self.network.obs
+        req_bytes = message_size(
+            {"batch": [{"method": m, "kwargs": kw} for m, kw in items]})
+        with obs.tracer.span("rpc.call_batch", src=src, dst=dst,
+                             service=service, items=len(items)) as sp:
+            t0 = self.network.clock.now
+            # one pipelined request/response pair = one call in the stats
+            self.stats.calls += 1
+            self.stats.request_bytes += req_bytes
+            obs.metrics.inc("rpc.calls", service=service, method="<batch>")
+            obs.metrics.inc("rpc.batch_calls", service=service)
+            obs.metrics.inc("rpc.batch_items", len(items), service=service)
+            obs.metrics.inc("rpc.request_bytes", req_bytes,
+                            service=service, method="<batch>")
+            if sp is not None:
+                sp.incr("request_bytes", req_bytes)
+            try:
+                self.network.transfer(src, dst, req_bytes)
+            except HostUnreachable:
+                self.stats.failures += 1
+                obs.metrics.inc("rpc.failures", service=service,
+                                method="<batch>", error="unreachable")
+                raise
+
+            results: List[BatchItemResult] = []
+            for method, kwargs in items:
+                fn: Callable = getattr(handler, method, None)
+                if fn is None or method.startswith("_"):
+                    exc = RpcError(
+                        f"service {service!r} has no method {method!r}")
+                    results.append(BatchItemResult(ok=False, error=exc))
+                    self.stats.failures += 1
+                    obs.metrics.inc("rpc.failures", service=service,
+                                    method=method, error="RpcError")
+                    continue
+                try:
+                    results.append(BatchItemResult(ok=True, value=fn(**kwargs)))
+                except SrbError as exc:
+                    results.append(BatchItemResult(ok=False, error=exc))
+                    self.stats.failures += 1
+                    obs.metrics.inc("rpc.failures", service=service,
+                                    method=method, error=type(exc).__name__)
+                except Exception as exc:  # non-SRB bug: wrap, don't leak
+                    wrapped = RpcError(
+                        f"remote {service}.{method} failed: {exc!r}")
+                    wrapped.__cause__ = exc
+                    results.append(BatchItemResult(ok=False, error=wrapped))
+                    self.stats.failures += 1
+                    obs.metrics.inc("rpc.failures", service=service,
+                                    method=method, error=type(exc).__name__)
+
+            resp_bytes = message_size(
+                [r.value if r.ok else {"error": True} for r in results])
+            self.network.transfer(dst, src, resp_bytes)
+            self.stats.response_bytes += resp_bytes
+            obs.metrics.inc("rpc.response_bytes", resp_bytes,
+                            service=service, method="<batch>")
+            obs.metrics.observe("rpc.call_s", self.network.clock.now - t0,
+                                service=service, method="<batch>")
+            if sp is not None:
+                sp.incr("response_bytes", resp_bytes)
+        return results

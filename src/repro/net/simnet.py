@@ -228,9 +228,27 @@ class Network:
         take ``max`` over completions to compute makespan.  ``streams``
         models parallel connections exactly as in :meth:`transfer`, so
         queued-mode benchmarks (E12) can use parallel I/O too.
+
+        Failure accounting matches :meth:`transfer`: an unreachable
+        destination charges one timeout RTT on the global clock (the
+        caller *did* wait to find out) and counts as a failed message.
         """
-        self.check_reachable(src, dst)
         spec = self.link(src, dst)
+        try:
+            self.check_reachable(src, dst)
+        except HostUnreachable as exc:
+            with self.obs.tracer.span("net.transfer", src=src, dst=dst,
+                                      bytes=nbytes) as sp:
+                if sp is not None:
+                    sp.error = str(exc)
+                self.clock.advance(2 * spec.latency_s)
+            self.messages_sent += 1
+            self.failed_attempts += 1
+            self.obs.tracer.add("messages", 1)
+            self.obs.tracer.add("failed_attempts", 1)
+            self.obs.metrics.inc("net.messages", src=src, dst=dst)
+            self.obs.metrics.inc("net.failed_attempts", src=src, dst=dst)
+            raise
         s, d = self.host(src), self.host(dst)
         start = max(self.clock.now, s.busy_until, d.busy_until,
                     not_before if not_before is not None else 0.0)

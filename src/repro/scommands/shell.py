@@ -24,6 +24,7 @@ Command summary (``help`` prints the same):
 
 from __future__ import annotations
 
+import os
 import shlex
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -199,6 +200,32 @@ class Shell:
                            if "-c" in opts else None,
                            data_type=opts.get("-D"))
         return f"{len(data)} bytes"
+
+    @_usage("Sbload [-R resource] [-c container] [-D datatype] "
+            "<localdir> <collection>")
+    def cmd_Sbload(self, args: List[str]) -> str:
+        """Bulk-load every file of a local directory in one batch."""
+        opts, rest = self._getopts(args, {"-R": True, "-c": True, "-D": True})
+        self._need(rest, 2)
+        localdir, coll = rest[0], self._abs(rest[1])
+        names = sorted(n for n in os.listdir(localdir)
+                       if os.path.isfile(os.path.join(localdir, n)))
+        if not names:
+            raise CommandError(f"no files in {localdir!r}")
+        items = []
+        for name in names:
+            with open(os.path.join(localdir, name), "rb") as fh:
+                items.append({"path": paths.join(coll, name),
+                              "data": fh.read(),
+                              "data_type": opts.get("-D")})
+        results = self.client.bulk_ingest(
+            items, resource=opts.get("-R"),
+            container=self._abs(opts["-c"]) if "-c" in opts else None)
+        lines = [f"{sum(1 for r in results if 'oid' in r)}/{len(items)} "
+                 f"files loaded into {coll}"]
+        lines += [f"  failed {r['path']}: {r['error']}"
+                  for r in results if "error" in r]
+        return "\n".join(lines)
 
     @_usage("Sget [-n replica] <srbpath> [localfile]")
     def cmd_Sget(self, args: List[str]) -> str:

@@ -73,6 +73,45 @@ class TestDataCommands:
         ok(sh, f"Sget notes.txt {out_file}")
         assert out_file.read_bytes() == b"hello from disk"
 
+    def test_bload_directory(self, shell, tmp_path):
+        grid, sh = shell
+        for i in range(4):
+            (tmp_path / f"f{i}.dat").write_bytes(b"payload-%d" % i)
+        ok(sh, "Smkdir loaded")
+        out = ok(sh, f"Sbload {tmp_path} loaded")
+        assert "4/4" in out
+        for i in range(4):
+            assert ok(sh, f"Scat loaded/f{i}.dat") == f"payload-{i}"
+
+    def test_bload_reports_per_file_failures(self, shell, tmp_path):
+        grid, sh = shell
+        (tmp_path / "dup.dat").write_bytes(b"one")
+        (tmp_path / "new.dat").write_bytes(b"two")
+        ok(sh, "Smkdir part")
+        ok(sh, f"Sput {tmp_path / 'dup.dat'} part/dup.dat")
+        out = ok(sh, f"Sbload {tmp_path} part")
+        assert "1/2" in out and "dup.dat" in out and "failed" in out
+        assert ok(sh, "Scat part/new.dat") == "two"
+
+    def test_bload_one_rpc_pair(self, shell, tmp_path):
+        """The point of Sbload: N files, one request/response message pair
+        on the client--server link (vs 2N for a Sput loop)."""
+        grid, sh = shell
+        for i in range(10):
+            (tmp_path / f"f{i}.dat").write_bytes(b"x")
+        ok(sh, "Smkdir bulkdir")
+        net = grid.fed.network
+        before = net.messages_sent
+        ok(sh, f"Sbload {tmp_path} bulkdir")
+        # one RPC pair plus the data leg; far fewer than 2 messages/file
+        assert net.messages_sent - before < 10
+
+    def test_bload_empty_dir_is_usage_error(self, shell, tmp_path):
+        grid, sh = shell
+        code, out = sh.run(f"Sbload {tmp_path} .")
+        assert code == 1
+        assert "no files" in out
+
     def test_put_with_resource_and_type(self, shell, tmp_path):
         grid, sh = shell
         local = tmp_path / "x.txt"

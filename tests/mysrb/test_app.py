@@ -175,6 +175,44 @@ class TestIngestFlow:
         assert r.code == 400
         assert "curator" in r.text
 
+    def test_bulk_ingest_form_linked_and_served(self, web):
+        grid, app, browser = web
+        login(browser)
+        r = browser.get(f"/ingest?coll={grid.home}")
+        assert "/ingest-bulk" in r.text
+        r = browser.get(f"/ingest-bulk?coll={grid.home}")
+        assert r.code == 200
+        assert 'name="name1"' in r.text and 'name="content1"' in r.text
+
+    def test_bulk_ingest_post_creates_all_objects(self, web):
+        grid, app, browser = web
+        login(browser)
+        r = browser.post("/ingest-bulk", {
+            "coll": grid.home, "resource": "unix-sdsc",
+            "container": "(none)",
+            "name1": "a.txt", "content1": "alpha",
+            "name2": "b.txt", "content2": "beta",
+            "name3": "", "content3": "skipped",
+        })
+        assert r.code == 200
+        assert "2/2" in r.text
+        assert grid.curator.get(f"{grid.home}/a.txt") == b"alpha"
+        assert grid.curator.get(f"{grid.home}/b.txt") == b"beta"
+
+    def test_bulk_ingest_post_reports_per_file_errors(self, web):
+        grid, app, browser = web
+        login(browser)
+        grid.curator.ingest(f"{grid.home}/dup.txt", b"old")
+        r = browser.post("/ingest-bulk", {
+            "coll": grid.home, "resource": "unix-sdsc",
+            "container": "(none)",
+            "name1": "dup.txt", "content1": "new",
+            "name2": "fresh.txt", "content2": "ok",
+        })
+        assert r.code == 200
+        assert "1/2" in r.text and "AlreadyExists" in r.text
+        assert grid.curator.get(f"{grid.home}/dup.txt") == b"old"
+
     def test_edit_small_ascii_file(self, web):
         grid, app, browser = web
         grid.curator.ingest(f"{grid.home}/edit.txt", b"before",

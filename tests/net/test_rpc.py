@@ -117,3 +117,100 @@ class TestErrors:
         rpc.deregister("server", "svc")
         with pytest.raises(RpcError):
             rpc.call("client", "server", "svc", "echo", text="x")
+
+
+class TestCallBatch:
+    def test_all_ok(self, setup):
+        _, rpc = setup
+        results = rpc.call_batch("client", "server", "svc",
+                                 [("echo", {"text": f"m{i}"})
+                                  for i in range(5)])
+        assert [r.unwrap() for r in results] == [f"m{i}" for i in range(5)]
+
+    def test_one_message_pair(self, setup):
+        """N batched items cost exactly two messages (request + response),
+        not 2N — the amortization the bulk data plane is built on."""
+        net, rpc = setup
+        before = net.messages_sent
+        rpc.call_batch("client", "server", "svc",
+                       [("echo", {"text": "x"})] * 40)
+        assert net.messages_sent - before == 2
+        assert rpc.stats.calls == 1
+
+    def test_one_latency_not_n(self, setup):
+        net, rpc = setup
+        t0 = net.clock.now
+        n = 40
+        rpc.call_batch("client", "server", "svc",
+                       [("echo", {"text": "x"})] * n)
+        elapsed = net.clock.now - t0
+        assert elapsed < n * net.default_link.latency_s
+
+    def test_error_isolation(self, setup):
+        """Item k failing with an SrbError doesn't poison the batch: the
+        other items run and return, and item k's typed error surfaces at
+        the caller."""
+        _, rpc = setup
+        results = rpc.call_batch("client", "server", "svc", [
+            ("echo", {"text": "a"}),
+            ("fail_srb", {}),
+            ("echo", {"text": "b"}),
+        ])
+        assert results[0].unwrap() == "a"
+        assert results[2].unwrap() == "b"
+        assert not results[1].ok
+        with pytest.raises(NoSuchObject):
+            results[1].unwrap()
+
+    def test_bug_wrapped_per_item(self, setup):
+        _, rpc = setup
+        results = rpc.call_batch("client", "server", "svc", [
+            ("fail_bug", {}),
+            ("echo", {"text": "ok"}),
+        ])
+        assert not results[0].ok
+        assert isinstance(results[0].error, RpcError)
+        assert results[1].unwrap() == "ok"
+
+    def test_unknown_and_private_methods_isolated(self, setup):
+        _, rpc = setup
+        results = rpc.call_batch("client", "server", "svc", [
+            ("nope", {}),
+            ("_private", {}),
+            ("echo", {"text": "still fine"}),
+        ])
+        assert [r.ok for r in results] == [False, False, True]
+        assert isinstance(results[0].error, RpcError)
+        assert isinstance(results[1].error, RpcError)
+
+    def test_failures_counted_per_item(self, setup):
+        _, rpc = setup
+        rpc.call_batch("client", "server", "svc",
+                       [("fail_srb", {}), ("fail_srb", {}),
+                        ("echo", {"text": "x"})])
+        assert rpc.stats.failures == 2
+
+    def test_unreachable_fails_whole_batch(self, setup):
+        """The request leg never arriving is a transport failure, not a
+        per-item one: the whole batch raises — after charging the same
+        timeout a single call would pay — and is visible in the stats."""
+        net, rpc = setup
+        net.set_down("server")
+        from repro.errors import HostUnreachable
+        t0 = net.clock.now
+        with pytest.raises(HostUnreachable):
+            rpc.call_batch("client", "server", "svc",
+                           [("echo", {"text": "x"})] * 3)
+        assert net.clock.now - t0 >= 2 * net.default_link.latency_s
+        assert rpc.stats.calls == 1
+        assert rpc.stats.failures == 1
+
+    def test_request_bytes_sum_payloads(self, setup):
+        net, rpc = setup
+        rpc.call_batch("client", "server", "svc",
+                       [("echo", {"text": "x" * 1000})] * 10)
+        assert rpc.stats.request_bytes > 10 * 1000
+
+    def test_empty_batch(self, setup):
+        _, rpc = setup
+        assert rpc.call_batch("client", "server", "svc", []) == []

@@ -153,6 +153,43 @@ class TestScheduledTransfers:
         fast = net.schedule_transfer("a", "b", 1_000_000, streams=4)
         assert slow == pytest.approx(4 * fast)
 
+    def test_unreachable_charges_timeout(self, net):
+        """Regression: an unreachable destination used to raise without
+        charging the timeout that ``transfer()`` charges, so queued-mode
+        benchmarks under-reported failure cost."""
+        net.set_down("b")
+        t0 = net.clock.now
+        with pytest.raises(HostUnreachable):
+            net.schedule_transfer("a", "b", 1000)
+        assert net.clock.now - t0 == pytest.approx(2 * WAN.latency_s)
+
+    def test_unreachable_counted(self, net):
+        """Failure accounting matches transfer(): the attempt counts as a
+        message and a failed attempt, with no bytes delivered."""
+        net.set_down("b")
+        with pytest.raises(HostUnreachable):
+            net.schedule_transfer("a", "b", 1000)
+        assert net.messages_sent == 1
+        assert net.failed_attempts == 1
+        assert net.bytes_sent == 0
+
+    def test_unreachable_emits_span_and_metrics(self, net):
+        net.set_down("b")
+        with net.obs.tracer.trace("test") as root:
+            with pytest.raises(HostUnreachable):
+                net.schedule_transfer("a", "b", 1000)
+        spans = root.find("net.transfer")
+        assert spans and spans[0].error
+        assert net.obs.metrics.get("net.failed_attempts",
+                                   src="a", dst="b") == 1
+
+    def test_unreachable_leaves_queues_untouched(self, net):
+        net.set_down("b")
+        with pytest.raises(HostUnreachable):
+            net.schedule_transfer("a", "b", 1000)
+        assert net.host("a").busy_until == 0.0
+        assert net.host("b").busy_until == 0.0
+
 
 class TestParallelStreams:
     def test_uncapped_link_ignores_streams(self, net):
