@@ -1,0 +1,22 @@
+"""The SRB server's plane services.
+
+Each service owns one functional slice of the old monolithic server;
+:class:`repro.core.dispatch.Dispatcher` routes RPCs into them through
+the shared middleware pipeline."""
+
+from repro.core.planes.auth import AuthService
+from repro.core.planes.base import PlaneService, content_checksum
+from repro.core.planes.data import DataService
+from repro.core.planes.metadata import MetadataService
+from repro.core.planes.namespace import NamespaceService
+from repro.core.planes.replica import ReplicaService
+
+__all__ = [
+    "AuthService",
+    "DataService",
+    "MetadataService",
+    "NamespaceService",
+    "PlaneService",
+    "ReplicaService",
+    "content_checksum",
+]

@@ -1,0 +1,40 @@
+"""Authentication plane: the challenge–response handshake.
+
+The only two ops that run without a validated ticket (``auth=False``)
+and without a catalog hop — exactly as the monolithic server treated
+them.  A failed login is audited ``ok=False`` through the pipeline's
+audit stage (``audit_denied=True``)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.auth.tickets import Ticket
+from repro.auth.users import Principal
+from repro.core.dispatch import OpContext, rpc_op
+from repro.core.planes.base import PlaneService
+
+
+class AuthService(PlaneService):
+    """Login handshake against the zone's user registry."""
+
+    plane = "auth"
+
+    @rpc_op("auth_challenge", auth=False, mcat_hop=False)
+    def auth_challenge(self, ctx: OpContext, username: str) -> Dict[str, str]:
+        """First leg of challenge–response: return salt + nonce."""
+        principal = Principal.parse(username)
+        challenge = self.users.make_challenge(
+            self.federation.ids.next_int("challenge"))
+        return {"salt": self.users.salt_of(principal), "challenge": challenge}
+
+    @rpc_op("auth_login", auth=False, mcat_hop=False, audit="login",
+            audit_arg="username", audit_denied=True)
+    def auth_login(self, ctx: OpContext, username: str, challenge: str,
+                   response: str) -> Ticket:
+        """Second leg: verify the response, issue the zone SSO ticket."""
+        principal = Principal.parse(username)
+        ctx.principal = principal
+        ctx.audit(target=str(principal))
+        self.users.verify_response(principal, challenge, response)
+        return self.authority.issue(principal)

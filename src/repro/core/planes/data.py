@@ -1,0 +1,1012 @@
+"""Data plane: byte movement between clients, servers and resources.
+
+Ingest/retrieve/overwrite/delete, the amortized bulk ops, the five
+registered-object kinds, copies, containers, and the lock/pin/version
+surface — everything whose job is getting bytes on or off storage
+resources.  Data paths are unchanged from the monolithic server: bytes
+flow ``resource host -> server host`` inside the server and onward in
+the RPC response, so every byte crosses the simulated WAN the same
+number of times it would in SRB 1.x's pass-through transfer mode."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.auth.users import Principal
+from repro.core.dispatch import OpContext, rpc_op
+from repro.core.planes.base import PlaneService, _CONTROL_MSG, \
+    content_checksum
+from repro.core.replication import pick_clean_available
+from repro.errors import (
+    ContainerError,
+    HostUnreachable,
+    NoSuchCollection,
+    NoSuchObject,
+    NoSuchReplica,
+    NoSuchResource,
+    PinnedFile,
+    ReplicaUnavailable,
+    ResourceUnavailable,
+    SrbError,
+    UnsupportedOperation,
+)
+from repro.storage.archive import ArchiveDriver
+from repro.storage.resource import PhysicalResource
+from repro.storage.web import WebSpace
+from repro.tlang.template import StyleSheet, builtin
+from repro.util import paths
+
+
+class DataService(PlaneService):
+    """Ingest, retrieval, overwrite, bulk ops, containers, locks."""
+
+    plane = "data"
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+
+    @rpc_op("ingest", scope_arg="path", write=True, audit="ingest",
+            span_args=("path",))
+    def ingest(self, ctx: OpContext, path: str, data: bytes,
+               resource: Optional[str] = None,
+               container: Optional[str] = None,
+               data_type: Optional[str] = None,
+               metadata: Optional[Dict[str, str]] = None) -> int:
+        """Ingest a new file into SRB.
+
+        ``resource`` may be physical or logical (logical fans out to every
+        member synchronously and the copies appear as replicas).  "A
+        container specification on ingestion overrides a resource
+        specification."  Structural metadata requirements of the target
+        collection are validated; the effective attributes are attached.
+        """
+        principal = ctx.principal
+        path = paths.normalize(path)
+        coll = paths.dirname(path)
+        if not self.mcat.collection_exists(coll):
+            raise NoSuchCollection(f"no collection {coll!r}")
+        self.access.require_collection(principal, coll, "write")
+        effective_md = self.mcat.validate_ingest_metadata(coll,
+                                                          metadata or {})
+
+        oid = self.mcat.create_object(
+            path, kind="data", owner=str(principal), now=self.now,
+            data_type=data_type, size=len(data),
+            checksum=content_checksum(data))
+
+        created: List[Tuple[PhysicalResource, str]] = []
+        try:
+            if container is not None:
+                cont = self.containers.get_container(container)
+                self.access.require_object(principal, cont, "write")
+                self.containers.append_member(cont, oid, data,
+                                              now=self.now,
+                                              server_host=self.host)
+            else:
+                resource = resource or self.federation.default_resource
+                if resource is None:
+                    raise NoSuchResource(
+                        "no resource given and no default")
+                for res in self.resources.resolve(resource):
+                    if not self.resources.available(res.name):
+                        raise ResourceUnavailable(
+                            f"resource {res.name!r} is down")
+                    phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
+                           f"{oid}-{paths.basename(path)}"
+                    self._resource_session(res)
+                    self._push_to_resource(res, len(data))
+                    res.driver.create(phys, data)
+                    created.append((res, phys))
+                    self.mcat.add_replica(oid, res.name, phys, len(data),
+                                          now=self.now)
+        except SrbError:
+            # no half-ingested objects — and no orphaned physical
+            # bytes: files already written on earlier members of a
+            # logical resource are removed too
+            for res, phys in created:
+                if res.driver.exists(phys):
+                    res.driver.delete(phys)
+            self.mcat.delete_object(oid)
+            raise
+
+        if effective_md:
+            self.mcat.add_metadata_bulk(
+                [{"target_kind": "object", "target_id": oid,
+                  "attr": attr, "value": value}
+                 for attr, value in effective_md.items()],
+                by=str(principal), now=self.now)
+        ctx.audit(target=path, detail=f"{len(data)}B")
+        if ctx.span is not None:
+            ctx.span.incr("payload_bytes", len(data))
+        return oid
+
+    # ------------------------------------------------------------------
+    # bulk operations (the Sbload-style amortized data plane)
+    # ------------------------------------------------------------------
+
+    @rpc_op("bulk_ingest", audit="bulk-ingest", span_items="items")
+    def bulk_ingest(self, ctx: OpContext,
+                    items: Sequence[Dict[str, Any]],
+                    resource: Optional[str] = None,
+                    container: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Ingest N files in one brokered operation.
+
+        ``items`` is a sequence of dicts with ``path`` and ``data`` plus
+        optional ``data_type``/``metadata``.  The batch pays one MCAT
+        hop, one storage session + one pipelined push per resource, and
+        one bulk catalog write each for object rows, replica rows and
+        metadata triples — instead of per-file round trips and per-row
+        ``QUERY_OVERHEAD_S``.  Returns a list aligned with ``items``:
+        ``{"path", "oid"}`` on success or ``{"path", "error",
+        "error_type"}`` for items that failed (other items proceed, and
+        a failed item's partial physical writes are rolled back).
+
+        A bad *target* (unknown resource/container, resource down, no
+        write access on the container) fails the whole batch before any
+        catalog write, since no item could succeed.
+        """
+        from repro.mcat.catalog import apply_structural
+        principal = ctx.principal
+        self.obs.metrics.inc("bulk.batches", op="ingest")
+        self.obs.metrics.inc("bulk.items", len(items), op="ingest")
+        results: List[Optional[Dict[str, Any]]] = [None] * len(items)
+
+        def fail(i: int, path: str, exc: SrbError) -> None:
+            results[i] = {"path": path, "error": str(exc),
+                          "error_type": type(exc).__name__}
+
+        # phase 1: namespace + access + structural metadata, charged
+        # once per distinct collection instead of once per file
+        coll_state: Dict[str, Any] = {}
+        prepared: List[List[Any]] = []
+        for i, item in enumerate(items):
+            raw_path = str(item.get("path", ""))
+            try:
+                path = paths.normalize(raw_path)
+                ctx.require_local(path)
+                data = item["data"]
+                coll = paths.dirname(path)
+                if coll not in coll_state:
+                    try:
+                        if not self.mcat.collection_exists(coll):
+                            raise NoSuchCollection(
+                                f"no collection {coll!r}")
+                        self.access.require_collection(principal, coll,
+                                                       "write")
+                        coll_state[coll] = self.mcat.structural_for(coll)
+                    except SrbError as exc:
+                        coll_state[coll] = exc
+                state = coll_state[coll]
+                if isinstance(state, SrbError):
+                    raise state
+                effective_md = apply_structural(
+                    state, item.get("metadata") or {}, coll)
+                prepared.append(
+                    [i, path, data, item.get("data_type"), effective_md])
+            except SrbError as exc:
+                fail(i, raw_path, exc)
+
+        # target resolution happens before any catalog write, so a
+        # misconfigured target fails the batch with nothing to undo
+        res_list: List[PhysicalResource] = []
+        cont_path: Optional[str] = None
+        if container is not None:
+            cont_path = paths.normalize(container)
+            cont = self.containers.get_container(cont_path)
+            self.access.require_object(principal, cont, "write")
+        else:
+            resource = resource or self.federation.default_resource
+            if resource is None:
+                raise NoSuchResource("no resource given and no default")
+            res_list = self.resources.resolve(resource)
+            for res in res_list:
+                if not self.resources.available(res.name):
+                    raise ResourceUnavailable(
+                        f"resource {res.name!r} is down")
+
+        # phase 2: one bulk catalog write registers every object row
+        specs = [{"path": p, "kind": "data", "data_type": dt,
+                  "size": len(d), "checksum": content_checksum(d)}
+                 for (_i, p, d, dt, _md) in prepared]
+        oids = self.mcat.create_objects(specs, owner=str(principal),
+                                        now=self.now)
+        alive: List[List[Any]] = []
+        for (i, path, data, _dt, md), oid in zip(prepared, oids):
+            if isinstance(oid, SrbError):
+                fail(i, path, oid)
+            else:
+                alive.append([i, path, data, md, oid])
+
+        # phase 3: the data leg
+        total_bytes = 0
+        if container is not None:
+            survivors = []
+            for entry in alive:
+                i, path, data, _md, oid = entry
+                try:
+                    cont = self.containers.get_container(cont_path)
+                    self.containers.append_member(
+                        cont, oid, data, now=self.now,
+                        server_host=self.host)
+                except SrbError as exc:
+                    self.mcat.delete_object(oid)
+                    fail(i, path, exc)
+                    continue
+                total_bytes += len(data)
+                survivors.append(entry)
+            alive = survivors
+        else:
+            written: Dict[int, List[Tuple[PhysicalResource, str]]] = \
+                {e[0]: [] for e in alive}
+            for res in res_list:
+                if not alive:
+                    break
+                # one session + one pipelined push per resource for
+                # the whole batch, streams=k as on single transfers
+                self._resource_session(res)
+                self._push_to_resource(res,
+                                       sum(len(e[2]) for e in alive))
+                survivors = []
+                for entry in alive:
+                    i, path, data, _md, oid = entry
+                    coll = paths.dirname(path)
+                    phys = (f"/srb/{coll.strip('/').replace('/', '_')}/"
+                            f"{oid}-{paths.basename(path)}")
+                    try:
+                        res.driver.create(phys, data)
+                    except SrbError as exc:
+                        for w_res, w_phys in written[i]:
+                            if w_res.driver.exists(w_phys):
+                                w_res.driver.delete(w_phys)
+                        self.mcat.delete_object(oid)
+                        fail(i, path, exc)
+                        continue
+                    written[i].append((res, phys))
+                    survivors.append(entry)
+                alive = survivors
+            replica_specs = []
+            for i, path, data, _md, oid in alive:
+                total_bytes += len(data)
+                for w_res, w_phys in written[i]:
+                    replica_specs.append(
+                        {"oid": oid, "resource": w_res.name,
+                         "physical_path": w_phys, "size": len(data)})
+            if replica_specs:
+                self.mcat.add_replicas(replica_specs, now=self.now)
+
+        # phase 4: one bulk catalog write attaches every triple
+        md_specs = [{"target_kind": "object", "target_id": oid,
+                     "attr": attr, "value": value}
+                    for (_i, _p, _d, md, oid) in alive
+                    for attr, value in md.items()]
+        if md_specs:
+            self.mcat.add_metadata_bulk(md_specs, by=str(principal),
+                                        now=self.now)
+
+        for i, path, _data, _md, oid in alive:
+            results[i] = {"path": path, "oid": oid}
+        ctx.audit(target=f"{len(items)} items", detail=f"{total_bytes}B")
+        if ctx.span is not None:
+            ctx.span.incr("payload_bytes", total_bytes)
+        return results
+
+    @rpc_op("bulk_get", audit="bulk-get", span_items="targets")
+    def bulk_get(self, ctx: OpContext, targets: Sequence[str],
+                 via_container: Optional[str] = None
+                 ) -> List[Dict[str, Any]]:
+        """Retrieve a working set of N objects in one brokered operation.
+
+        Returns a list aligned with ``targets``: ``{"path", "data"}`` or
+        ``{"path", "error", "error_type"}`` per item.  With
+        ``via_container``, the container's bytes are prefetched once
+        (one storage session + one bulk pull) and members of that
+        container are served as local slices — the aggregation win the
+        paper claims for WAN working sets.
+        """
+        principal = ctx.principal
+        self.obs.metrics.inc("bulk.batches", op="get")
+        self.obs.metrics.inc("bulk.items", len(targets), op="get")
+        prefetched: Optional[Dict[int, bytes]] = None
+        if via_container is not None:
+            cont = self.containers.get_container(
+                paths.normalize(via_container))
+            self.access.require_object(principal, cont, "read")
+            prefetched = self._prefetch_container(int(cont["oid"]))
+        results: List[Dict[str, Any]] = []
+        total = 0
+        for raw in targets:
+            try:
+                path = paths.normalize(str(raw))
+                obj = self.mcat.find_object(path)
+                if obj is None:
+                    raise NoSuchObject(f"no object {path!r}")
+                obj = self._resolve_link(obj)
+                self.access.require_object(principal, obj, "read")
+                self.locks.check_read(int(obj["oid"]), principal)
+                if obj["kind"] not in ("data", "registered", "container"):
+                    raise UnsupportedOperation(
+                        f"bulk_get cannot retrieve kind {obj['kind']!r}")
+                data = None
+                if prefetched is not None:
+                    data = prefetched.get(int(obj["oid"]))
+                if data is None:
+                    data = self._get_bytes(obj, None)
+                total += len(data)
+                results.append({"path": path, "data": data})
+            except SrbError as exc:
+                results.append({"path": str(raw), "error": str(exc),
+                                "error_type": type(exc).__name__})
+        ctx.audit(target=f"{len(targets)} items", detail=f"{total}B")
+        if ctx.span is not None:
+            ctx.span.incr("payload_bytes", total)
+        return results
+
+    def _prefetch_container(self, coid: int) -> Dict[int, bytes]:
+        """Fetch a container's bytes once; map member oid -> its slice."""
+        members = self.mcat.container_members(coid)
+        if not members:
+            return {}
+        chain = self.federation.selector.order(self.mcat.replicas(coid),
+                                               from_host=self.host)
+        for rep in [r for r in chain if not r["is_dirty"]]:
+            res = self.resources.physical(rep["resource"])
+            if not self.resources.available(res.name):
+                continue
+            try:
+                self._resource_session(res)
+                blob = res.driver.read_all(rep["physical_path"])
+            except (HostUnreachable, ResourceUnavailable):
+                continue
+            self._pull_from_resource(res, len(blob))
+            return {int(m["oid"]): blob[int(m["offset"]):
+                                        int(m["offset"]) + int(m["size"])]
+                    for m in members}
+        return {}            # fall back to per-item replica reads
+
+    @rpc_op("bulk_query_metadata", audit="bulk-query-metadata",
+            span_items="targets")
+    def bulk_query_metadata(self, ctx: OpContext, targets: Sequence[str],
+                            meta_class: Optional[str] = None
+                            ) -> List[Dict[str, Any]]:
+        """Metadata of N paths in one brokered operation: per-item
+        resolution and ACL checks, then a single bulk catalog read."""
+        principal = ctx.principal
+        self.obs.metrics.inc("bulk.batches", op="query_metadata")
+        self.obs.metrics.inc("bulk.items", len(targets),
+                             op="query_metadata")
+        results: List[Dict[str, Any]] = []
+        lookups: List[Tuple[int, str, int]] = []
+        for raw in targets:
+            try:
+                path = paths.normalize(str(raw))
+                kind, tid, row = self._target_for_metadata(path)
+                if kind == "object":
+                    self.access.require_object(principal, row, "read")
+                else:
+                    self.access.require_collection(principal, path,
+                                                   "read")
+                lookups.append((len(results), kind, tid))
+                results.append({"path": path, "metadata": []})
+            except SrbError as exc:
+                results.append({"path": str(raw), "error": str(exc),
+                                "error_type": type(exc).__name__})
+        if lookups:
+            rows = self.mcat.get_metadata_bulk(
+                [(kind, tid) for _idx, kind, tid in lookups],
+                meta_class=meta_class)
+            for (idx, _kind, _tid), md in zip(lookups, rows):
+                results[idx]["metadata"] = md
+        ctx.audit(target=f"{len(targets)} items")
+        return results
+
+    # ------------------------------------------------------------------
+    # registration (the five registered-object kinds)
+    # ------------------------------------------------------------------
+
+    def _register_common(self, principal: Principal, path: str) -> str:
+        path = paths.normalize(path)
+        self.access.require_collection(principal, paths.dirname(path),
+                                       "write")
+        return path
+
+    @rpc_op("register_file", scope_arg="path", write=True, audit="register",
+            detail="file")
+    def register_file(self, ctx: OpContext, path: str, resource: str,
+                      physical_path: str,
+                      data_type: Optional[str] = None,
+                      metadata: Optional[Dict[str, str]] = None) -> int:
+        """Register a file that lives outside SRB control (kind 1).
+
+        "Since the file is not fully under SRB's control, the file size
+        and other characteristics might change without SRB being aware."
+        """
+        principal = ctx.principal
+        path = self._register_common(principal, path)
+        ctx.audit(target=path)
+        res = self.resources.physical(resource)
+        effective_md = self.mcat.validate_ingest_metadata(
+            paths.dirname(path), metadata or {})
+        size = res.driver.size(physical_path) if res.driver.exists(
+            physical_path) else None
+        oid = self.mcat.create_object(
+            path, kind="registered", owner=str(principal), now=self.now,
+            data_type=data_type, size=size, resource_hint=resource,
+            target=physical_path)
+        self.mcat.add_replica(oid, resource, physical_path, size or 0,
+                              now=self.now)
+        for attr, value in effective_md.items():
+            self.mcat.add_metadata("object", oid, attr, value,
+                                   by=str(principal), now=self.now)
+        return oid
+
+    @rpc_op("register_directory", scope_arg="path", write=True,
+            audit="register", detail="directory")
+    def register_directory(self, ctx: OpContext, path: str, resource: str,
+                           physical_dir: str) -> int:
+        """Register a 'shadow directory object' (kind 2): the cone of
+        files under it is visible, read-only."""
+        principal = ctx.principal
+        path = self._register_common(principal, path)
+        ctx.audit(target=path)
+        self.resources.physical(resource)   # must exist
+        return self.mcat.create_object(
+            path, kind="shadow-dir", owner=str(principal), now=self.now,
+            resource_hint=resource, target=physical_dir)
+
+    @rpc_op("register_sql", scope_arg="path", write=True, audit="register",
+            detail="sql")
+    def register_sql(self, ctx: OpContext, path: str, resource: str,
+                     sql: str, template: str = "HTMLREL",
+                     partial: bool = False) -> int:
+        """Register a SQL query object (kind 3).
+
+        ``partial`` queries keep a trailing fragment open; the user
+        supplies the remainder at retrieval.  Only SELECTs are accepted
+        ("we recommend that one register only 'select' commands").
+        """
+        principal = ctx.principal
+        path = self._register_common(principal, path)
+        ctx.audit(target=path)
+        res = self.resources.physical(resource)
+        if res.rtype != "database":
+            raise UnsupportedOperation(
+                f"resource {resource!r} is not a database")
+        if not sql.lstrip().upper().startswith("SELECT"):
+            raise UnsupportedOperation(
+                "registered SQL must start with SELECT")
+        if not partial:
+            from repro.db.sql import is_select_only
+            if not is_select_only(sql):
+                raise UnsupportedOperation(
+                    f"registered SQL does not parse as SELECT-only: {sql!r}")
+        return self.mcat.create_object(
+            path, kind="sql", owner=str(principal), now=self.now,
+            data_type="sql query", resource_hint=resource,
+            target=("PARTIAL:" if partial else "") + sql, template=template)
+
+    @rpc_op("register_url", scope_arg="path", write=True, audit="register",
+            detail="url")
+    def register_url(self, ctx: OpContext, path: str, url: str) -> int:
+        """Register a URL object (kind 4): contents fetched at retrieval."""
+        principal = ctx.principal
+        path = self._register_common(principal, path)
+        ctx.audit(target=path)
+        WebSpace._validate(url)
+        return self.mcat.create_object(
+            path, kind="url", owner=str(principal), now=self.now,
+            data_type="url", target=url)
+
+    @rpc_op("register_method", scope_arg="path", write=True,
+            audit="register", detail="method")
+    def register_method(self, ctx: OpContext, path: str, server: str,
+                        command: str, proxy_function: bool = False) -> int:
+        """Register a method object / virtual data (kind 5).
+
+        ``command`` must already exist in the named server's *bin*
+        directory (placed there by an SRB administrator — "this is done as
+        a security precaution"); ``proxy_function=True`` selects the
+        compiled-in proxy-function flavour instead.
+        """
+        principal = ctx.principal
+        path = self._register_common(principal, path)
+        ctx.audit(target=path)
+        if proxy_function:
+            if command not in self.federation.proxy_functions:
+                raise UnsupportedOperation(
+                    f"no compiled proxy function {command!r}")
+        else:
+            bin_dir = self.federation.proxy_bin.get(server, {})
+            if command not in bin_dir:
+                raise UnsupportedOperation(
+                    f"command {command!r} is not in server {server!r}'s bin "
+                    "directory (ask an SRB administrator)")
+        spec = (f"{'function' if proxy_function else 'command'}:"
+                f"{server}:{command}")
+        return self.mcat.create_object(
+            path, kind="method", owner=str(principal), now=self.now,
+            data_type="method", target=spec)
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+
+    @rpc_op("get", scope_arg="path", forwardable=True, audit="get",
+            span_args=("path",))
+    def get(self, ctx: OpContext, path: str,
+            replica_num: Optional[int] = None,
+            args: Optional[str] = None,
+            sql_remainder: Optional[str] = None) -> bytes:
+        """Retrieve an object's contents by logical path.
+
+        Dispatches on object kind; links resolve to their target;
+        failover walks the replica chain when a storage system is down.
+        ``args`` feeds method objects (command-line parameters at
+        invocation); ``sql_remainder`` completes a partial SQL object.
+        """
+        principal = ctx.principal
+        path = paths.normalize(path)
+        obj = self.mcat.find_object(path)
+        if obj is None:
+            shadow = self._find_shadow(path)
+            if shadow is not None:
+                ctx.audit(target=path, detail="shadow")
+                return self._get_shadow_member(principal, shadow, path)
+            raise NoSuchObject(f"no object {path!r}")
+        obj = self._resolve_link(obj)
+        self.access.require_object(principal, obj, "read")
+        self.locks.check_read(int(obj["oid"]), principal)
+        kind = obj["kind"]
+        if kind in ("data", "registered"):
+            data = self._get_bytes(obj, replica_num)
+        elif kind == "container":
+            data = self._get_bytes(obj, replica_num)
+        elif kind == "sql":
+            data = self._get_sql(obj, replica_num, sql_remainder)
+        elif kind == "url":
+            data = self._get_url(obj, replica_num)
+        elif kind == "method":
+            data = self._get_method(obj, args)
+        elif kind == "shadow-dir":
+            raise UnsupportedOperation(
+                f"{path!r} is a registered directory; access files "
+                "beneath it")
+        else:
+            raise UnsupportedOperation(f"cannot retrieve kind {kind!r}")
+        ctx.audit(target=path, detail=f"{len(data)}B")
+        if ctx.span is not None:
+            ctx.span.incr("payload_bytes", len(data))
+        return data
+
+    def _get_bytes(self, obj: Dict[str, Any],
+                   replica_num: Optional[int]) -> bytes:
+        oid = int(obj["oid"])
+        replicas = self.mcat.replicas(oid)
+        if replica_num is not None:
+            chain = [r for r in replicas if r["replica_num"] == replica_num]
+            if not chain:
+                raise NoSuchReplica(
+                    f"{obj['path']} has no replica {replica_num}")
+        else:
+            chain = self.federation.selector.order(replicas,
+                                                   from_host=self.host)
+            chain = [r for r in chain if not r["is_dirty"]]
+            if not chain:
+                raise ReplicaUnavailable(
+                    f"{obj['path']} has no clean replica")
+        last: Optional[Exception] = None
+        for rep in chain:
+            if rep["container_oid"] is not None:
+                try:
+                    return self.containers.read_member(rep,
+                                                       server_host=self.host)
+                except (ResourceUnavailable, HostUnreachable) as exc:
+                    last = exc
+                    continue
+            res = self.resources.physical(rep["resource"])
+            try:
+                # the open probe discovers a dead storage system the
+                # expensive way: a charged timeout (E2's failover cost)
+                self._resource_session(res)
+                data = res.driver.read(rep["physical_path"])
+            except (HostUnreachable, ResourceUnavailable) as exc:
+                last = exc
+                continue
+            self._pull_from_resource(res, len(data))
+            return data
+        raise ReplicaUnavailable(
+            f"all replicas of {obj['path']!r} unavailable ({last})")
+
+    def _get_sql(self, obj: Dict[str, Any], replica_num: Optional[int],
+                 sql_remainder: Optional[str]) -> bytes:
+        """Execute a registered SQL object at retrieval time and render it
+        with its template (built-in or user style-sheet)."""
+        target = str(obj["target"])
+        resource = obj["resource_hint"]
+        # registered replicas of a SQL object are alternative queries
+        if replica_num is not None:
+            rep = self.mcat.get_replica(int(obj["oid"]), replica_num)
+            target = rep["physical_path"]
+            resource = rep["resource"]
+        if target.startswith("PARTIAL:"):
+            fragment = target[len("PARTIAL:"):]
+            if sql_remainder is None:
+                raise UnsupportedOperation(
+                    f"{obj['path']!r} is a partial query; supply the "
+                    "remainder")
+            sql = fragment + " " + sql_remainder
+        else:
+            sql = target
+        res = self.resources.physical(str(resource))
+        self._resource_session(res)
+        result = res.driver.execute_sql(sql)
+        self._pull_from_resource(
+            res, sum(len(str(v)) for row in result.rows for v in row))
+        template_name = str(obj["template"] or "HTMLREL")
+        sheet = self._load_stylesheet(template_name)
+        return sheet.render(result.columns, result.rows).encode()
+
+    def _load_stylesheet(self, template_name: str) -> StyleSheet:
+        """A template is a built-in name or the SRB path of a style-sheet
+        file already ingested ("the user specifies a file already in SRB
+        as the style-sheet file")."""
+        if template_name.startswith("/"):
+            sheet_obj = self.mcat.find_object(template_name)
+            if sheet_obj is None:
+                raise NoSuchObject(
+                    f"style-sheet {template_name!r} not in SRB")
+            source = self._get_bytes(sheet_obj, None).decode()
+            return StyleSheet(source)
+        return builtin(template_name)
+
+    def _get_url(self, obj: Dict[str, Any],
+                 replica_num: Optional[int]) -> bytes:
+        url = str(obj["target"])
+        if replica_num is not None:
+            rep = self.mcat.get_replica(int(obj["oid"]), replica_num)
+            url = rep["physical_path"]
+        return self.federation.web.fetch(url, self.host)
+
+    def _get_method(self, obj: Dict[str, Any], args: Optional[str]) -> bytes:
+        kind, server_name, command = str(obj["target"]).split(":", 2)
+        if kind == "function":
+            fn = self.federation.proxy_functions[command]
+            return fn(self.server, args or "")
+        remote = self.federation.server(server_name)
+        if remote.host != self.host:
+            self.network.transfer(self.host, remote.host, _CONTROL_MSG)
+        fn = self.federation.proxy_bin[server_name][command]
+        out = fn(args or "")
+        if remote.host != self.host:
+            self.network.transfer(remote.host, self.host, len(out))
+        return out
+
+    def _get_shadow_member(self, principal: Principal,
+                           shadow: Dict[str, Any], path: str) -> bytes:
+        self.access.require_object(principal, shadow, "read")
+        res = self.resources.physical(str(shadow["resource_hint"]))
+        self._resource_session(res)
+        data = res.driver.read(self._shadow_physical(shadow, path))
+        self._pull_from_resource(res, len(data))
+        return data
+
+    # ------------------------------------------------------------------
+    # writes / updates
+    # ------------------------------------------------------------------
+
+    @rpc_op("put", scope_arg="path", write=True, audit="put")
+    def put(self, ctx: OpContext, path: str, data: bytes) -> None:
+        """Overwrite (re-ingest/edit): metadata stays linked; the written
+        replica becomes fresh, siblings become dirty."""
+        principal = ctx.principal
+        obj = self.mcat.get_object(paths.normalize(path))
+        obj = self._resolve_link(obj)
+        if obj["kind"] not in ("data", "registered"):
+            raise UnsupportedOperation(f"cannot write kind {obj['kind']!r}")
+        self.access.require_object(principal, obj, "write")
+        oid = int(obj["oid"])
+        self.locks.check_write(oid, principal)
+        replicas = self.mcat.replicas(oid)
+        if not replicas:
+            raise ReplicaUnavailable(f"{path!r} has no replicas")
+        chain = pick_clean_available(self.federation.selector, self.resources,
+                                     replicas, from_host=self.host,
+                                     allow_dirty=True)
+        rep = chain[0]
+        if rep["container_oid"] is not None:
+            # containers are "tarfiles but with more flexibility in
+            # accessing and updating files": append the new bytes and
+            # repoint the member (compact_container reclaims the garbage)
+            self.containers.replace_member(rep, data, now=self.now,
+                                           server_host=self.host)
+        else:
+            res = self.resources.physical(rep["resource"])
+            self._resource_session(res)
+            self._push_to_resource(res, len(data))
+            if res.driver.exists(rep["physical_path"]):
+                res.driver.delete(rep["physical_path"])
+            res.driver.create(rep["physical_path"], data)
+            self.mcat.update_replica(oid, rep["replica_num"], size=len(data),
+                                     is_dirty=False)
+            self.mcat.mark_siblings_dirty(oid, rep["replica_num"])
+        self.mcat.update_object(oid, size=len(data), modified_at=self.now,
+                                checksum=content_checksum(data))
+        ctx.audit(detail=f"{len(data)}B")
+
+    @rpc_op("delete", scope_arg="path", write=True, audit="delete")
+    def delete(self, ctx: OpContext, path: str,
+               replica_num: Optional[int] = None) -> None:
+        """Delete an object — "one replica at a time and when the last
+        replica is deleted all the metadata and annotations are also
+        deleted".  Registered kinds unlink without touching the physical
+        object; deleting a link unlinks."""
+        principal = ctx.principal
+        path = paths.normalize(path)
+        obj = self.mcat.get_object(path)
+        self.access.require_object(principal, obj, "own")
+        oid = int(obj["oid"])
+        self.locks.check_write(oid, principal)
+        kind = obj["kind"]
+
+        if kind == "link":
+            self.mcat.delete_object(oid)     # unlink only
+            ctx.audit(action="unlink", target=path)
+            return
+        if kind in ("sql", "url", "method", "shadow-dir"):
+            self.mcat.delete_object(oid)     # pointer kinds: catalog only
+            ctx.audit(target=path, detail=kind)
+            return
+        if kind == "container" and self.mcat.container_members(oid):
+            raise ContainerError(
+                f"container {path!r} still has members")
+
+        replicas = self.mcat.replicas(oid)
+        doomed = replicas
+        if replica_num is not None:
+            doomed = [r for r in replicas if r["replica_num"] == replica_num]
+            if not doomed:
+                raise NoSuchReplica(f"{path!r} has no replica {replica_num}")
+        for rep in doomed:
+            if self.locks.is_pinned(oid, rep["resource"]):
+                raise PinnedFile(
+                    f"replica {rep['replica_num']} of {path!r} is pinned "
+                    f"on {rep['resource']}")
+            if kind == "data" and rep["container_oid"] is None:
+                res = self.resources.physical(rep["resource"])
+                if res.driver.exists(rep["physical_path"]):
+                    res.driver.delete(rep["physical_path"])
+            self.mcat.remove_replica(oid, rep["replica_num"])
+        if not self.mcat.replicas(oid):
+            self.mcat.delete_object(oid)     # last replica gone -> cascade
+        ctx.audit(target=path,
+                  detail=f"replica={replica_num}" if replica_num else "all")
+
+    # ------------------------------------------------------------------
+    # copy
+    # ------------------------------------------------------------------
+
+    @rpc_op("copy", scope_arg="src", write=True, audit="copy",
+            detail_arg="dst")
+    def copy(self, ctx: OpContext, src: str, dst: str,
+             resource: Optional[str] = None) -> int:
+        """Copy a file (or recursively a collection) to a new logical name.
+
+        "The copy command does not copy any user-defined metadata or
+        annotations. ... these two objects are considered to be entirely
+        different and unconnected."  URL/SQL/method objects cannot be
+        copied.
+        """
+        principal = ctx.principal
+        src = paths.normalize(src)
+        dst = paths.normalize(dst)
+        ctx.audit(target=src, detail=dst)
+        if self.mcat.collection_exists(src):
+            # each copied file audits through its own dispatched copy;
+            # the collection-level call itself writes no "copy" row
+            ctx.suppress_audit()
+            return self._copy_collection(ctx.ticket, principal, src, dst,
+                                         resource)
+        obj = self.mcat.get_object(src)
+        obj = self._resolve_link(obj)
+        if obj["kind"] in ("sql", "url", "method"):
+            raise UnsupportedOperation(
+                "currently we do not support copy of URL, SQL or method "
+                "objects")
+        self.access.require_object(principal, obj, "read")
+        self.access.require_collection(principal, paths.dirname(dst), "write")
+        data = self._get_bytes(obj, None)
+        resource = resource or str(
+            self.mcat.replicas(int(obj["oid"]))[0]["resource"])
+        new_oid = self.mcat.create_object(
+            dst, kind="data", owner=str(principal), now=self.now,
+            data_type=obj["data_type"], size=len(data),
+            checksum=content_checksum(data))
+        for res in self.resources.resolve(resource):
+            phys = f"/srb/copies/{new_oid}-{paths.basename(dst)}"
+            self._resource_session(res)
+            self._push_to_resource(res, len(data))
+            res.driver.create(phys, data)
+            self.mcat.add_replica(new_oid, res.name, phys, len(data),
+                                  now=self.now)
+        return new_oid
+
+    def _copy_collection(self, ticket, principal: Principal,
+                         src: str, dst: str,
+                         resource: Optional[str]) -> int:
+        self.access.require_collection(principal, src, "read")
+        self.access.require_collection(principal, paths.dirname(dst), "write")
+        cid = self.mcat.create_collection(dst, str(principal), now=self.now)
+        for sub in self.mcat.child_collections(src):
+            self._copy_collection(ticket, principal, sub["path"],
+                                  paths.join(dst, paths.basename(sub["path"])),
+                                  resource)
+        for obj in self.mcat.objects_in_collection(src):
+            if obj["kind"] in ("sql", "url", "method"):
+                continue         # not copyable; skipped like MySRB does
+            self.server.copy(ticket, obj["path"],
+                             paths.join(dst, str(obj["name"])), resource)
+        return cid
+
+    # ------------------------------------------------------------------
+    # locks / pins / versions
+    # ------------------------------------------------------------------
+
+    @rpc_op("lock", scope_arg="path", write=True, audit="lock",
+            detail_arg="lock_type")
+    def lock(self, ctx: OpContext, path: str, lock_type: str = "shared",
+             lifetime_s: Optional[float] = None) -> int:
+        principal = ctx.principal
+        obj = self.mcat.get_object(paths.normalize(path))
+        self.access.require_object(principal, obj, "write")
+        from repro.core.locking import DEFAULT_LOCK_LIFETIME_S
+        return self.locks.lock(int(obj["oid"]), principal, lock_type,
+                               lifetime_s if lifetime_s is not None
+                               else DEFAULT_LOCK_LIFETIME_S)
+
+    @rpc_op("unlock", scope_arg="path", write=True, audit="unlock")
+    def unlock(self, ctx: OpContext, path: str) -> int:
+        obj = self.mcat.get_object(paths.normalize(path))
+        return self.locks.unlock(int(obj["oid"]), ctx.principal)
+
+    @rpc_op("pin", scope_arg="path", write=True, audit="pin",
+            detail_arg="resource")
+    def pin(self, ctx: OpContext, path: str, resource: str,
+            lifetime_s: Optional[float] = None) -> int:
+        """Pin a replica on a resource so cache management cannot purge
+        it."""
+        principal = ctx.principal
+        obj = self.mcat.get_object(paths.normalize(path))
+        self.access.require_object(principal, obj, "write")
+        oid = int(obj["oid"])
+        target = None
+        for rep in self.mcat.replicas(oid):
+            if rep["resource"] == resource:
+                target = rep
+                break
+        if target is None:
+            raise NoSuchReplica(f"{path!r} has no replica on {resource!r}")
+        from repro.core.locking import DEFAULT_PIN_LIFETIME_S
+        pid = self.locks.pin(oid, resource, principal,
+                             lifetime_s if lifetime_s is not None
+                             else DEFAULT_PIN_LIFETIME_S)
+        res = self.resources.physical(resource)
+        if isinstance(res.driver, ArchiveDriver):
+            res.driver.pin(target["physical_path"])
+        return pid
+
+    @rpc_op("unpin", scope_arg="path", write=True, audit="unpin",
+            detail_arg="resource")
+    def unpin(self, ctx: OpContext, path: str, resource: str) -> int:
+        obj = self.mcat.get_object(paths.normalize(path))
+        oid = int(obj["oid"])
+        count = self.locks.unpin(oid, resource, ctx.principal)
+        res = self.resources.physical(resource)
+        if isinstance(res.driver, ArchiveDriver):
+            for rep in self.mcat.replicas(oid):
+                if rep["resource"] == resource:
+                    res.driver.unpin(rep["physical_path"])
+        return count
+
+    @rpc_op("checkout", scope_arg="path", write=True, audit="checkout")
+    def checkout(self, ctx: OpContext, path: str) -> None:
+        """"A checkout by a user disallows any changes to be made to that
+        object" until checkin."""
+        principal = ctx.principal
+        obj = self.mcat.get_object(paths.normalize(path))
+        self.access.require_object(principal, obj, "write")
+        self.locks.checkout(int(obj["oid"]), principal)
+
+    @rpc_op("checkin", scope_arg="path", write=True, audit="checkin")
+    def checkin(self, ctx: OpContext, path: str,
+                data: Optional[bytes] = None) -> int:
+        """Checkin: the older bytes become a numbered historical version;
+        optional ``data`` becomes the new current content."""
+        principal = ctx.principal
+        obj = self.mcat.get_object(paths.normalize(path))
+        self.access.require_object(principal, obj, "write")
+        oid = int(obj["oid"])
+        # snapshot current bytes aside on the first clean replica's resource
+        replicas = self.mcat.replicas(oid)
+        chain = pick_clean_available(self.federation.selector, self.resources,
+                                     replicas, from_host=self.host)
+        rep = chain[0]
+        res = self.resources.physical(rep["resource"])
+        if rep["container_oid"] is None:
+            old = res.driver.read(rep["physical_path"])
+            vpath = f"/srb/versions/{oid}-v{obj['version']}"
+            if res.driver.exists(vpath):
+                res.driver.delete(vpath)
+            res.driver.create(vpath, old)
+            self.locks.record_version(oid, res.name, vpath, len(old),
+                                      principal)
+        new_version = self.locks.checkin(oid, principal)
+        if data is not None:
+            self.server.put(ctx.ticket, path, data)
+        ctx.audit(detail=f"v{new_version}")
+        return new_version
+
+    @rpc_op("versions", scope_arg="path", forwardable=True)
+    def versions(self, ctx: OpContext, path: str) -> List[Dict[str, Any]]:
+        obj = self.mcat.get_object(paths.normalize(path))
+        self.access.require_object(ctx.principal, obj, "read")
+        return self.locks.versions_of(int(obj["oid"]))
+
+    @rpc_op("get_version", scope_arg="path", forwardable=True)
+    def get_version(self, ctx: OpContext, path: str,
+                    version_num: int) -> bytes:
+        """Retrieve the bytes of a historical version."""
+        obj = self.mcat.get_object(paths.normalize(path))
+        self.access.require_object(ctx.principal, obj, "read")
+        for v in self.locks.versions_of(int(obj["oid"])):
+            if v["version_num"] == version_num:
+                res = self.resources.physical(v["resource"])
+                self._resource_session(res)
+                data = res.driver.read(v["physical_path"])
+                self._pull_from_resource(res, len(data))
+                return data
+        raise NoSuchReplica(f"{path!r} has no version {version_num}")
+
+    # ------------------------------------------------------------------
+    # containers
+    # ------------------------------------------------------------------
+
+    @rpc_op("create_container", scope_arg="path", write=True,
+            audit="create-container", detail_arg="logical_resource")
+    def create_container(self, ctx: OpContext, path: str,
+                         logical_resource: str) -> int:
+        principal = ctx.principal
+        self.access.require_collection(principal,
+                                       paths.dirname(paths.normalize(path)),
+                                       "write")
+        return self.containers.create(path, logical_resource,
+                                      str(principal), now=self.now)
+
+    @rpc_op("compact_container", scope_arg="path", write=True,
+            audit="compact-container")
+    def compact_container(self, ctx: OpContext, path: str) -> int:
+        """Rewrite a container keeping only live member slices; returns
+        bytes reclaimed.  Member updates append (log-structured), so a
+        heavily-edited container accumulates garbage until compaction."""
+        cont = self.containers.get_container(paths.normalize(path))
+        self.access.require_object(ctx.principal, cont, "write")
+        reclaimed = self.containers.compact(path, now=self.now,
+                                            server_host=self.host)
+        ctx.audit(detail=f"{reclaimed}B")
+        return reclaimed
+
+    @rpc_op("container_garbage", scope_arg="path", forwardable=True)
+    def container_garbage(self, ctx: OpContext, path: str) -> int:
+        """Bytes of dead space currently in the container."""
+        cont = self.containers.get_container(paths.normalize(path))
+        self.access.require_object(ctx.principal, cont, "read")
+        return self.containers.garbage_bytes(int(cont["oid"]))
+
+    @rpc_op("sync_container", scope_arg="path", write=True,
+            audit="sync-container")
+    def sync_container(self, ctx: OpContext, path: str) -> int:
+        cont = self.containers.get_container(paths.normalize(path))
+        self.access.require_object(ctx.principal, cont, "write")
+        count = self.containers.sync(path, now=self.now,
+                                     server_host=self.host)
+        ctx.audit(detail=str(count))
+        return count

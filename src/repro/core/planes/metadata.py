@@ -1,0 +1,282 @@
+"""Metadata plane: triples, annotations, query, ACLs and the audit trail.
+
+The MCAT-facing half of the server: everything here is catalog reads and
+writes — attribute triples (four ingestion methods), structural metadata
+declared by collection curators, annotations, the attribute query
+engine, and access-control administration."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.dispatch import OpContext, rpc_op
+from repro.core.planes.base import PlaneService
+from repro.errors import AccessDenied, MetadataError
+from repro.mcat.query import Condition, DisplayOnly, QueryResult, search, \
+    queryable_attributes
+from repro.util import paths
+
+
+class MetadataService(PlaneService):
+    """Metadata triples, annotations, queries, grants and audit reads."""
+
+    plane = "metadata"
+
+    # ------------------------------------------------------------------
+    # metadata triples
+    # ------------------------------------------------------------------
+
+    @rpc_op("add_metadata", scope_arg="path", write=True,
+            audit="add-metadata", detail_arg="attr")
+    def add_metadata(self, ctx: OpContext, path: str, attr: str,
+                     value: Optional[str], units: Optional[str] = None,
+                     meta_class: str = "user",
+                     schema_name: Optional[str] = None) -> int:
+        """Attach one metadata triple.  "User-defined metadata and
+        type-oriented metadata can be ingested only by users who have
+        'ownership' permission" — enforced here."""
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "own")
+        else:
+            self.access.require_collection(principal, path, "own")
+        return self.mcat.add_metadata(kind, tid, attr, value,
+                                      by=str(principal), now=self.now,
+                                      units=units, meta_class=meta_class,
+                                      schema_name=schema_name)
+
+    @rpc_op("get_metadata", scope_arg="path", forwardable=True)
+    def get_metadata(self, ctx: OpContext, path: str,
+                     meta_class: Optional[str] = None
+                     ) -> List[Dict[str, Any]]:
+        """All metadata for an object/collection; a link shows its own
+        metadata plus a read-only view of its target's."""
+        principal = ctx.principal
+        path = paths.normalize(path)
+        obj = self.mcat.find_object(path)
+        rows: List[Dict[str, Any]] = []
+        if obj is not None and obj["kind"] == "link":
+            self.access.require_object(principal, obj, "read")
+            rows.extend(self.mcat.get_metadata("object", int(obj["oid"]),
+                                               meta_class))
+            target = self._resolve_link(obj)
+            for row in self.mcat.get_metadata("object", int(target["oid"]),
+                                              meta_class):
+                row = dict(row)
+                row["via_link"] = True
+                rows.append(row)
+            return rows
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "read")
+        else:
+            self.access.require_collection(principal, path, "read")
+        return self.mcat.get_metadata(kind, tid, meta_class)
+
+    @rpc_op("update_metadata", scope_arg="path", write=True,
+            audit="update-metadata", detail_arg="mid")
+    def update_metadata(self, ctx: OpContext, path: str, mid: int,
+                        value: Optional[str],
+                        units: Optional[str] = None) -> None:
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "own")
+        else:
+            self.access.require_collection(principal, path, "own")
+        self.mcat.update_metadata(mid, value, units)
+
+    @rpc_op("delete_metadata", scope_arg="path", write=True,
+            audit="delete-metadata", detail_arg="mid")
+    def delete_metadata(self, ctx: OpContext, path: str, mid: int) -> None:
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "own")
+        else:
+            self.access.require_collection(principal, path, "own")
+        self.mcat.delete_metadata(mid)
+
+    @rpc_op("copy_metadata", scope_arg="src", write=True,
+            audit="copy-metadata", detail_arg="dst")
+    def copy_metadata(self, ctx: OpContext, src: str, dst: str) -> int:
+        """Copy metadata from another SRB object (ingestion method 3)."""
+        principal = ctx.principal
+        skind, sid, srow = self._target_for_metadata(src)
+        dkind, did, drow = self._target_for_metadata(dst)
+        if skind == "object":
+            self.access.require_object(principal, srow, "read")
+        else:
+            self.access.require_collection(principal, src, "read")
+        if dkind == "object":
+            self.access.require_object(principal, drow, "own")
+        else:
+            self.access.require_collection(principal, dst, "own")
+        return self.mcat.copy_metadata(skind, sid, dkind, did,
+                                       by=str(principal), now=self.now)
+
+    @rpc_op("extract_metadata", scope_arg="path", write=True,
+            audit="extract-metadata")
+    def extract_metadata(self, ctx: OpContext, path: str, method: str,
+                         sidecar: Optional[str] = None) -> int:
+        """Run an extraction method (ingestion method 4).
+
+        Sidecar-style methods read a *second* SRB object (``sidecar``) and
+        attach the triples to ``path``.  Returns triples attached.
+        """
+        principal = ctx.principal
+        obj = self.mcat.get_object(paths.normalize(path))
+        obj = self._resolve_link(obj)
+        self.access.require_object(principal, obj, "own")
+        data_type = str(obj["data_type"] or "")
+        m = self.federation.extractors.get(data_type, method)
+        if m.from_sidecar:
+            if sidecar is None:
+                raise MetadataError(
+                    f"extraction method {method!r} reads a sidecar object; "
+                    "pass sidecar=")
+            side_obj = self.mcat.get_object(paths.normalize(sidecar))
+            self.access.require_object(principal, side_obj, "read")
+            content = self.server.data._get_bytes(side_obj, None)
+        else:
+            content = self.server.data._get_bytes(obj, None)
+        triples = m.program.run(content)
+        for t in triples:
+            self.mcat.add_metadata("object", int(obj["oid"]), t.attr, t.value,
+                                   by=str(principal), now=self.now,
+                                   units=t.units)
+        ctx.audit(detail=f"{method}:{len(triples)}")
+        return len(triples)
+
+    @rpc_op("define_structural", scope_arg="coll", write=True,
+            audit="define-structural", audit_arg="coll", detail_arg="attr")
+    def define_structural(self, ctx: OpContext, coll: str, attr: str,
+                          default_value: Optional[str] = None,
+                          vocabulary: Optional[Sequence[str]] = None,
+                          mandatory: bool = False,
+                          comment: Optional[str] = None) -> int:
+        """Collection curator declares required/suggested ingest metadata."""
+        self.access.require_collection(ctx.principal, coll, "own")
+        return self.mcat.define_structural(coll, attr,
+                                           default_value=default_value,
+                                           vocabulary=vocabulary,
+                                           mandatory=mandatory,
+                                           comment=comment)
+
+    @rpc_op("structural_metadata", scope_arg="coll", forwardable=True)
+    def structural_metadata(self, ctx: OpContext,
+                            coll: str) -> List[Dict[str, Any]]:
+        self.access.require_collection(ctx.principal, coll, "read")
+        return self.mcat.structural_for(coll)
+
+    # ------------------------------------------------------------------
+    # annotations
+    # ------------------------------------------------------------------
+
+    @rpc_op("add_annotation", scope_arg="path", write=True, audit="annotate",
+            detail_arg="ann_type")
+    def add_annotation(self, ctx: OpContext, path: str, ann_type: str,
+                       text: str, location: Optional[str] = None) -> int:
+        """"The annotations and commentary can be inserted by any user
+        with a read permission on the object."""
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "annotate")
+        else:
+            self.access.require_collection(principal, path, "annotate")
+        return self.mcat.add_annotation(kind, tid, ann_type, str(principal),
+                                        text, now=self.now, location=location)
+
+    @rpc_op("annotations", scope_arg="path", forwardable=True)
+    def annotations(self, ctx: OpContext,
+                    path: str) -> List[Dict[str, Any]]:
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "read")
+        else:
+            self.access.require_collection(principal, path, "read")
+        return self.mcat.annotations_for(kind, tid)
+
+    # ------------------------------------------------------------------
+    # query
+    # ------------------------------------------------------------------
+
+    @rpc_op("query", scope_arg="scope", forwardable=True, audit="query",
+            span_args=("scope",))
+    def query(self, ctx: OpContext, scope: str,
+              conditions: Sequence[Condition | DisplayOnly],
+              include_annotations: bool = False,
+              include_system: bool = False,
+              limit: Optional[int] = None,
+              strategy: str = "auto") -> QueryResult:
+        """Attribute search under ``scope``; results are filtered to
+        objects the caller may read."""
+        principal = ctx.principal
+        self.access.require_collection(principal, scope, "read")
+        result = search(self.mcat, scope, conditions,
+                        include_annotations=include_annotations,
+                        include_system=include_system, limit=limit,
+                        strategy=strategy)
+        visible_rows = []
+        for row in result.rows:
+            obj = self.mcat.find_object(str(row[0]))
+            if obj is not None and self.access.can_object(principal, obj,
+                                                          "read"):
+                visible_rows.append(row)
+        result.rows = visible_rows
+        ctx.audit(detail=f"{len(conditions)} conds, "
+                         f"{len(visible_rows)} hits")
+        if ctx.span is not None:
+            ctx.span.incr("rows", len(visible_rows))
+        return result
+
+    @rpc_op("queryable_attrs", scope_arg="scope", forwardable=True)
+    def queryable_attrs(self, ctx: OpContext, scope: str,
+                        include_system: bool = False) -> List[str]:
+        self.access.require_collection(ctx.principal, scope, "read")
+        return queryable_attributes(self.mcat, scope,
+                                    include_system=include_system)
+
+    # ------------------------------------------------------------------
+    # access control administration
+    # ------------------------------------------------------------------
+
+    @rpc_op("grant", scope_arg="path", write=True, audit="grant")
+    def grant(self, ctx: OpContext, path: str, principal_str: str,
+              permission: str) -> None:
+        """Owner grants ``permission`` to a user, ``group:<name>`` or ``*``."""
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "own")
+        else:
+            self.access.require_collection(principal, path, "own")
+        self.mcat.grant(kind, tid, principal_str, permission)
+        ctx.audit(detail=f"{principal_str}:{permission}")
+
+    @rpc_op("revoke", scope_arg="path", write=True, audit="revoke",
+            detail_arg="principal_str")
+    def revoke(self, ctx: OpContext, path: str, principal_str: str) -> None:
+        principal = ctx.principal
+        kind, tid, row = self._target_for_metadata(path)
+        if kind == "object":
+            self.access.require_object(principal, row, "own")
+        else:
+            self.access.require_collection(principal, path, "own")
+        self.mcat.revoke(kind, tid, principal_str)
+
+    @rpc_op("audit_log")
+    def audit_log(self, ctx: OpContext,
+                  principal_filter: Optional[str] = None,
+                  action: Optional[str] = None,
+                  target: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Auditing facilities (sysadmin only)."""
+        principal = ctx.principal
+        if not (self.users.exists(principal) and
+                self.users.role_of(principal) == "sysadmin"):
+            raise AccessDenied(principal, "read", "audit log")
+        return self.mcat.audit_query(principal=principal_filter,
+                                     action=action, target=target)

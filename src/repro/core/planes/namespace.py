@@ -1,0 +1,156 @@
+"""Namespace plane: the logical collection hierarchy.
+
+Browse ops (``list_collection``/``stat``) are forwardable reads; the
+structure mutations (``mkcoll``/``rmcoll``/``move``/``link``) are writes
+and uniformly refuse foreign-zone paths at the zone stage."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.auth.users import Principal
+from repro.core.dispatch import OpContext, rpc_op
+from repro.core.planes.base import PlaneService
+from repro.errors import (
+    AlreadyExists,
+    InvalidPath,
+    LinkChainError,
+    NoSuchCollection,
+    NoSuchObject,
+)
+from repro.util import paths
+
+
+class NamespaceService(PlaneService):
+    """Collections: create, remove, browse, stat, move, link."""
+
+    plane = "namespace"
+
+    @rpc_op("mkcoll", scope_arg="path", write=True, audit="mkcoll")
+    def mkcoll(self, ctx: OpContext, path: str) -> int:
+        parent = paths.dirname(paths.normalize(path))
+        self.access.require_collection(ctx.principal, parent, "write")
+        return self.mcat.create_collection(path, str(ctx.principal),
+                                           now=self.now)
+
+    @rpc_op("rmcoll", scope_arg="path", write=True, audit="rmcoll")
+    def rmcoll(self, ctx: OpContext, path: str) -> None:
+        self.access.require_collection(ctx.principal, path, "own")
+        self.mcat.remove_collection(path)
+
+    @rpc_op("list_collection", scope_arg="path", forwardable=True)
+    def list_collection(self, ctx: OpContext, path: str) -> Dict[str, Any]:
+        """Collections + objects directly under ``path`` (the browse view).
+
+        If ``path`` falls inside a registered shadow directory, the
+        listing comes from the underlying physical directory instead.
+        """
+        principal = ctx.principal
+        path = paths.normalize(path)
+        if not self.mcat.collection_exists(path):
+            obj = self.mcat.find_object(path)
+            if obj is not None and obj["kind"] == "shadow-dir":
+                return self._list_shadow(principal, obj, path)
+            shadow = self._find_shadow(path)
+            if shadow is not None:
+                return self._list_shadow(principal, shadow, path)
+            raise NoSuchCollection(f"no collection {path!r}")
+        self.access.require_collection(principal, path, "read")
+        colls = [c["path"] for c in self.mcat.child_collections(path)]
+        objs = []
+        for obj in self.mcat.objects_in_collection(path):
+            if self.access.can_object(principal, obj, "read"):
+                objs.append({k: obj[k] for k in
+                             ("path", "name", "kind", "data_type", "owner",
+                              "size", "version", "modified_at")})
+        return {"collections": colls, "objects": objs}
+
+    def _list_shadow(self, principal: Principal, shadow: Dict[str, Any],
+                     path: str) -> Dict[str, Any]:
+        self.access.require_object(principal, shadow, "read")
+        res = self.resources.physical(str(shadow["resource_hint"]))
+        self._resource_session(res)
+        entries = res.driver.list_dir(self._shadow_physical(shadow, path))
+        colls = [paths.join(path, e[:-1]) for e in entries if e.endswith("/")]
+        objs = [{"path": paths.join(path, e), "name": e, "kind": "shadow-file",
+                 "data_type": None, "owner": shadow["owner"], "size": None,
+                 "version": 1, "modified_at": None}
+                for e in entries if not e.endswith("/")]
+        return {"collections": colls, "objects": objs}
+
+    @rpc_op("stat", scope_arg="path", forwardable=True)
+    def stat(self, ctx: OpContext, path: str) -> Dict[str, Any]:
+        """System metadata + replica list for an object, or collection info."""
+        principal = ctx.principal
+        path = paths.normalize(path)
+        obj = self.mcat.find_object(path)
+        if obj is not None:
+            self.access.require_object(principal, obj, "read")
+            out = dict(obj)
+            out["replicas"] = self.mcat.replicas(int(obj["oid"]))
+            return out
+        if self.mcat.collection_exists(path):
+            self.access.require_collection(principal, path, "read")
+            out = dict(self.mcat.get_collection(path))
+            out["replicas"] = []
+            return out
+        raise NoSuchObject(f"no object or collection {path!r}")
+
+    @rpc_op("move", scope_arg="src", write=True, audit="move",
+            detail_arg="dst")
+    def move(self, ctx: OpContext, src: str, dst: str) -> None:
+        """Logical move of a file or sub-collection: "the user-defined
+        metadata remains unchanged"."""
+        principal = ctx.principal
+        src = paths.normalize(src)
+        dst = paths.normalize(dst)
+        ctx.audit(target=src, detail=dst)
+        if self.mcat.collection_exists(src):
+            self.access.require_collection(principal, src, "own")
+            self.access.require_collection(principal, paths.dirname(dst),
+                                           "write")
+            if self.mcat.collection_exists(dst) or \
+                    self.mcat.object_exists(dst):
+                raise AlreadyExists(f"destination {dst!r} already exists")
+            if src == dst or paths.is_ancestor(src, dst):
+                raise InvalidPath(f"cannot move {src!r} into itself")
+            self.mcat.rename_subtree(src, dst)
+        else:
+            obj = self.mcat.get_object(src)
+            self.access.require_object(principal, obj, "own")
+            self.access.require_collection(principal, paths.dirname(dst),
+                                           "write")
+            self.locks.check_write(int(obj["oid"]), principal)
+            self.mcat.move_object(int(obj["oid"]), dst)
+
+    @rpc_op("link", scope_arg="link_path", write=True, audit="link")
+    def link(self, ctx: OpContext, target: str, link_path: str) -> int:
+        """Soft-link an object or collection into another collection.
+
+        "Chaining of links is not allowed.  An attempt to link to another
+        link object will result in a direct link to the parent object."
+        Replica-style duplicate links to the same parent are allowed
+        ("one can have more than one link to the same data").
+        """
+        principal = ctx.principal
+        target = paths.normalize(target)
+        link_path = paths.normalize(link_path)
+        self.access.require_collection(principal, paths.dirname(link_path),
+                                       "write")
+        tobj = self.mcat.find_object(target)
+        if tobj is not None:
+            if tobj["kind"] == "link":
+                target = str(tobj["target"])       # collapse the chain
+                tobj = self.mcat.find_object(target)
+                if tobj is None:
+                    raise LinkChainError(
+                        f"link target {target!r} no longer exists")
+            self.access.require_object(principal, tobj, "read")
+        elif self.mcat.collection_exists(target):
+            self.access.require_collection(principal, target, "read")
+        else:
+            raise NoSuchObject(f"link target {target!r} does not exist")
+        ctx.audit(target=link_path, detail=target)
+        return self.mcat.create_object(
+            link_path, kind="link", owner=str(principal), now=self.now,
+            target=target)

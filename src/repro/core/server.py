@@ -1,4 +1,4 @@
-"""The federated SRB server.
+"""The federated SRB server — a façade over five plane services.
 
 Each :class:`SrbServer` runs on one network host and brokers the storage
 resources local to it; all servers expose the *same* operation surface,
@@ -8,10 +8,22 @@ is MCAT-enabled: it holds the catalog.  The others reach the catalog over
 the network, paying one round trip per brokered operation — which is
 exactly the overhead experiment E5 measures.
 
-Data paths: bytes flow ``resource host -> server host`` inside the server
-and ``server host -> client host`` in the RPC response (and the reverse
-for ingests), so every byte crosses the simulated WAN the same number of
-times it would in SRB 1.x's pass-through transfer mode.
+The paper presents the server as a layered system: one common request
+interface over distinct namespace, data-movement, replica and metadata
+functions.  That is now literal structure:
+
+* :mod:`repro.core.planes` — ``auth``, ``namespace``, ``data``,
+  ``replica`` and ``metadata`` services own the operation logic;
+* :mod:`repro.core.dispatch` — every RPC runs through one declarative
+  middleware pipeline (error accounting, op span/metrics, ticket auth,
+  cross-zone forwarding, MCAT hop, audit) driven by the ``@rpc_op``
+  declarations on the plane methods.
+
+``SrbServer`` itself keeps only identity, counters, the plumbing the
+pipeline stages call (``_mcat_hop``/``_forward``/``_auth``/``_audit``)
+and an auto-generated public method per registered op, so the external
+surface — ``server.get(ticket, path)``, RPC by method name, scommands —
+is unchanged.
 
 The server is deliberately synchronous and stateless between calls; all
 durable state lives in MCAT and on the storage drivers.
@@ -19,48 +31,60 @@ durable state lives in MCAT and on the storage drivers.
 
 from __future__ import annotations
 
-import hashlib
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import inspect
+from typing import Any, Callable, Dict, Optional
 
 from repro.auth.tickets import Ticket, TicketAuthority
 from repro.auth.users import PUBLIC, Principal, UserRegistry
 from repro.core.access import AccessController
 from repro.core.containers import ContainerManager
+from repro.core.dispatch import Dispatcher, RegisteredOp
 from repro.core.locking import LockManager
-from repro.core.replication import pick_clean_available, synchronize
-from repro.errors import (
-    AccessDenied,
-    AlreadyExists,
-    ContainerError,
-    HostUnreachable,
-    InvalidPath,
-    LinkChainError,
-    MetadataError,
-    NoSuchObject,
-    NoSuchReplica,
-    NoSuchResource,
-    ReplicaUnavailable,
-    ResourceUnavailable,
-    SrbError,
-    UnsupportedOperation,
+from repro.core.planes import (
+    AuthService,
+    DataService,
+    MetadataService,
+    NamespaceService,
+    ReplicaService,
+    content_checksum,
 )
+from repro.core.planes.base import _CONTROL_MSG
+from repro.errors import InvalidPath, UnsupportedOperation
 from repro.mcat.catalog import Mcat
-from repro.mcat.query import Condition, DisplayOnly, QueryResult, search, \
-    queryable_attributes
-from repro.storage.archive import ArchiveDriver
-from repro.storage.resource import PhysicalResource, ResourceRegistry
-from repro.storage.web import WebSpace
-from repro.tlang.template import StyleSheet, builtin
+from repro.storage.resource import ResourceRegistry
 from repro.util import paths
 
-def content_checksum(data: bytes) -> str:
-    """Checksum recorded in MCAT at ingest and verified on demand."""
-    return hashlib.sha256(data).hexdigest()
+__all__ = ["SrbServer", "content_checksum"]
 
 
-_CONTROL_MSG = 256      # bytes of a control message between servers
-_OPEN_MSG = 64          # tiny "open" probe sent to a resource host
-_AUTH_MSG = 200         # challenge/response message size
+def _facade_method(server: "SrbServer", reg: RegisteredOp) -> Callable:
+    """Build the public ``server.<op>(ticket, ...)`` method for one op.
+
+    The signature is derived from the plane handler's (minus ``self`` and
+    ``ctx``), with ``ticket`` prepended for authenticated ops — i.e. the
+    exact signature the monolithic server's method had.  The body binds
+    the arguments and hands them to the dispatcher as kwargs.
+    """
+    spec = reg.spec
+    params = list(inspect.signature(reg.impl).parameters.values())[2:]
+    if spec.auth:
+        params = [inspect.Parameter(
+            "ticket", inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            annotation=Ticket)] + params
+    sig = inspect.Signature(params)
+
+    def facade(*args: Any, **kwargs: Any) -> Any:
+        bound = sig.bind(*args, **kwargs)
+        bound.apply_defaults()
+        call_kwargs = dict(bound.arguments)
+        ticket = call_kwargs.pop("ticket", None)
+        return server.dispatch.call(spec.name, ticket, call_kwargs)
+
+    facade.__name__ = spec.name
+    facade.__qualname__ = f"SrbServer.{spec.name}"
+    facade.__doc__ = reg.impl.__doc__
+    facade.__signature__ = sig
+    return facade
 
 
 class SrbServer:
@@ -73,6 +97,27 @@ class SrbServer:
         self.federation = federation
         self.is_mcat_server = is_mcat_server
         self.ops_served = 0
+
+        self.auth = AuthService(self)
+        self.namespace = NamespaceService(self)
+        self.data = DataService(self)
+        self.replica = ReplicaService(self)
+        self.metadata = MetadataService(self)
+        self.planes = (self.auth, self.namespace, self.data,
+                       self.replica, self.metadata)
+
+        self.dispatch = Dispatcher(self)
+        for service in self.planes:
+            self.dispatch.register_service(service)
+        for op_name in self.dispatch.names():
+            setattr(self, op_name,
+                    _facade_method(self, self.dispatch.get(op_name)))
+
+    def __rpc_lookup__(self, method: str) -> Optional[Callable]:
+        """RPC surface = exactly the registered ops (see repro.net.rpc)."""
+        if method in self.dispatch:
+            return getattr(self, method)
+        return None
 
     # ------------------------------------------------------------------
     # shorthand accessors
@@ -123,7 +168,7 @@ class SrbServer:
         return self.clock.now
 
     # ------------------------------------------------------------------
-    # internal plumbing
+    # plumbing the pipeline stages call
     # ------------------------------------------------------------------
 
     def _mcat_hop(self) -> None:
@@ -135,11 +180,6 @@ class SrbServer:
             with self.obs.tracer.span("srb.mcat_hop", server=self.name):
                 self.network.transfer(self.host, mhost, _CONTROL_MSG)
                 self.network.transfer(mhost, self.host, _CONTROL_MSG)
-
-    def _op(self, op: str, **attrs: Any):
-        """Top-level operation span + the per-server ``srb.ops`` counter."""
-        self.obs.metrics.inc("srb.ops", server=self.name, op=op)
-        return self.obs.tracer.span(f"srb.{op}", server=self.name, **attrs)
 
     def _foreign_zone(self, path: str) -> Optional[str]:
         """The zone of ``path`` if it belongs to a *federated peer*.
@@ -183,1725 +223,8 @@ class SrbServer:
             return PUBLIC
         return self.authority.validate(ticket)
 
-    def _resource_session(self, res: PhysicalResource) -> None:
-        """Open a session to a storage resource's host.
-
-        With SSO the server presents (and the resource locally validates)
-        the zone ticket — just the tiny open probe.  Without SSO the
-        server must run a full challenge–response against the resource's
-        own security domain: two extra round trips (experiment E7).
-        """
-        if not self.federation.sso_enabled:
-            self.network.transfer(self.host, res.host, _AUTH_MSG)
-            self.network.transfer(res.host, self.host, _AUTH_MSG)
-            self.network.transfer(self.host, res.host, _AUTH_MSG)
-            self.network.transfer(res.host, self.host, _AUTH_MSG)
-        self.network.transfer(self.host, res.host, _OPEN_MSG)
-
-    def _pull_from_resource(self, res: PhysicalResource, nbytes: int) -> None:
-        if res.host != self.host:
-            self.network.transfer(res.host, self.host, nbytes,
-                                  streams=self.federation.data_streams)
-
-    def _push_to_resource(self, res: PhysicalResource, nbytes: int) -> None:
-        if res.host != self.host:
-            self.network.transfer(self.host, res.host, nbytes,
-                                  streams=self.federation.data_streams)
-
     def _audit(self, principal: Principal, action: str, target: str,
                detail: Optional[str] = None, ok: bool = True) -> None:
         if self.federation.audit_enabled:
             self.mcat.record_audit(self.now, str(principal), action, target,
                                    detail=detail, ok=ok)
-
-    # ------------------------------------------------------------------
-    # authentication RPCs
-    # ------------------------------------------------------------------
-
-    def auth_challenge(self, username: str) -> Dict[str, str]:
-        """First leg of challenge–response: return salt + nonce."""
-        self.ops_served += 1
-        principal = Principal.parse(username)
-        challenge = self.users.make_challenge(
-            self.federation.ids.next_int("challenge"))
-        return {"salt": self.users.salt_of(principal), "challenge": challenge}
-
-    def auth_login(self, username: str, challenge: str,
-                   response: str) -> Ticket:
-        """Second leg: verify the response, issue the zone SSO ticket."""
-        self.ops_served += 1
-        principal = Principal.parse(username)
-        try:
-            self.users.verify_response(principal, challenge, response)
-        except SrbError:
-            self._audit(principal, "login", str(principal), ok=False)
-            raise
-        self._audit(principal, "login", str(principal))
-        return self.authority.issue(principal)
-
-    # ------------------------------------------------------------------
-    # namespace operations
-    # ------------------------------------------------------------------
-
-    def mkcoll(self, ticket: Ticket, path: str) -> int:
-        self._require_local(path, "mkcoll")
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        parent = paths.dirname(paths.normalize(path))
-        self.access.require_collection(principal, parent, "write")
-        cid = self.mcat.create_collection(path, str(principal), now=self.now)
-        self._audit(principal, "mkcoll", path)
-        return cid
-
-    def rmcoll(self, ticket: Ticket, path: str) -> None:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        self.access.require_collection(principal, path, "own")
-        self.mcat.remove_collection(path)
-        self._audit(principal, "rmcoll", path)
-
-    def list_collection(self, ticket: Ticket, path: str) -> Dict[str, Any]:
-        """Collections + objects directly under ``path`` (the browse view).
-
-        If ``path`` falls inside a registered shadow directory, the
-        listing comes from the underlying physical directory instead.
-        """
-        zone = self._foreign_zone(path)
-        if zone is not None:
-            return self._forward(zone, "list_collection", ticket, path=path)
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = paths.normalize(path)
-        if not self.mcat.collection_exists(path):
-            obj = self.mcat.find_object(path)
-            if obj is not None and obj["kind"] == "shadow-dir":
-                return self._list_shadow(principal, obj, path)
-            shadow = self._find_shadow(path)
-            if shadow is not None:
-                return self._list_shadow(principal, shadow, path)
-            from repro.errors import NoSuchCollection
-            raise NoSuchCollection(f"no collection {path!r}")
-        self.access.require_collection(principal, path, "read")
-        colls = [c["path"] for c in self.mcat.child_collections(path)]
-        objs = []
-        for obj in self.mcat.objects_in_collection(path):
-            if self.access.can_object(principal, obj, "read"):
-                objs.append({k: obj[k] for k in
-                             ("path", "name", "kind", "data_type", "owner",
-                              "size", "version", "modified_at")})
-        return {"collections": colls, "objects": objs}
-
-    def stat(self, ticket: Ticket, path: str) -> Dict[str, Any]:
-        """System metadata + replica list for an object, or collection info."""
-        zone = self._foreign_zone(path)
-        if zone is not None:
-            return self._forward(zone, "stat", ticket, path=path)
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = paths.normalize(path)
-        obj = self.mcat.find_object(path)
-        if obj is not None:
-            self.access.require_object(principal, obj, "read")
-            out = dict(obj)
-            out["replicas"] = self.mcat.replicas(int(obj["oid"]))
-            return out
-        if self.mcat.collection_exists(path):
-            self.access.require_collection(principal, path, "read")
-            out = dict(self.mcat.get_collection(path))
-            out["replicas"] = []
-            return out
-        raise NoSuchObject(f"no object or collection {path!r}")
-
-    # ------------------------------------------------------------------
-    # ingestion
-    # ------------------------------------------------------------------
-
-    def ingest(self, ticket: Ticket, path: str, data: bytes,
-               resource: Optional[str] = None,
-               container: Optional[str] = None,
-               data_type: Optional[str] = None,
-               metadata: Optional[Dict[str, str]] = None) -> int:
-        """Ingest a new file into SRB.
-
-        ``resource`` may be physical or logical (logical fans out to every
-        member synchronously and the copies appear as replicas).  "A
-        container specification on ingestion overrides a resource
-        specification."  Structural metadata requirements of the target
-        collection are validated; the effective attributes are attached.
-        """
-        with self._op("ingest", path=path) as sp:
-            self._require_local(path, "ingest")
-            principal = self._auth(ticket)
-            self._mcat_hop()
-            path = paths.normalize(path)
-            coll = paths.dirname(path)
-            if not self.mcat.collection_exists(coll):
-                from repro.errors import NoSuchCollection
-                raise NoSuchCollection(f"no collection {coll!r}")
-            self.access.require_collection(principal, coll, "write")
-            effective_md = self.mcat.validate_ingest_metadata(coll,
-                                                              metadata or {})
-
-            oid = self.mcat.create_object(
-                path, kind="data", owner=str(principal), now=self.now,
-                data_type=data_type, size=len(data),
-                checksum=content_checksum(data))
-
-            created: List[Tuple[PhysicalResource, str]] = []
-            try:
-                if container is not None:
-                    cont = self.containers.get_container(container)
-                    self.access.require_object(principal, cont, "write")
-                    self.containers.append_member(cont, oid, data,
-                                                  now=self.now,
-                                                  server_host=self.host)
-                else:
-                    resource = resource or self.federation.default_resource
-                    if resource is None:
-                        raise NoSuchResource(
-                            "no resource given and no default")
-                    for res in self.resources.resolve(resource):
-                        if not self.resources.available(res.name):
-                            raise ResourceUnavailable(
-                                f"resource {res.name!r} is down")
-                        phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
-                               f"{oid}-{paths.basename(path)}"
-                        self._resource_session(res)
-                        self._push_to_resource(res, len(data))
-                        res.driver.create(phys, data)
-                        created.append((res, phys))
-                        self.mcat.add_replica(oid, res.name, phys, len(data),
-                                              now=self.now)
-            except SrbError:
-                # no half-ingested objects — and no orphaned physical
-                # bytes: files already written on earlier members of a
-                # logical resource are removed too
-                for res, phys in created:
-                    if res.driver.exists(phys):
-                        res.driver.delete(phys)
-                self.mcat.delete_object(oid)
-                raise
-
-            if effective_md:
-                self.mcat.add_metadata_bulk(
-                    [{"target_kind": "object", "target_id": oid,
-                      "attr": attr, "value": value}
-                     for attr, value in effective_md.items()],
-                    by=str(principal), now=self.now)
-            self._audit(principal, "ingest", path, detail=f"{len(data)}B")
-            if sp is not None:
-                sp.incr("payload_bytes", len(data))
-            return oid
-
-    # ------------------------------------------------------------------
-    # bulk operations (the Sbload-style amortized data plane)
-    # ------------------------------------------------------------------
-
-    def bulk_ingest(self, ticket: Ticket,
-                    items: Sequence[Dict[str, Any]],
-                    resource: Optional[str] = None,
-                    container: Optional[str] = None) -> List[Dict[str, Any]]:
-        """Ingest N files in one brokered operation.
-
-        ``items`` is a sequence of dicts with ``path`` and ``data`` plus
-        optional ``data_type``/``metadata``.  The batch pays one MCAT
-        hop, one storage session + one pipelined push per resource, and
-        one bulk catalog write each for object rows, replica rows and
-        metadata triples — instead of per-file round trips and per-row
-        ``QUERY_OVERHEAD_S``.  Returns a list aligned with ``items``:
-        ``{"path", "oid"}`` on success or ``{"path", "error",
-        "error_type"}`` for items that failed (other items proceed, and
-        a failed item's partial physical writes are rolled back).
-
-        A bad *target* (unknown resource/container, resource down, no
-        write access on the container) fails the whole batch before any
-        catalog write, since no item could succeed.
-        """
-        from repro.errors import NoSuchCollection
-        from repro.mcat.catalog import apply_structural
-        with self._op("bulk_ingest", items=len(items)) as sp:
-            principal = self._auth(ticket)
-            self._mcat_hop()        # one catalog hop for the whole batch
-            self.obs.metrics.inc("bulk.batches", op="ingest")
-            self.obs.metrics.inc("bulk.items", len(items), op="ingest")
-            results: List[Optional[Dict[str, Any]]] = [None] * len(items)
-
-            def fail(i: int, path: str, exc: SrbError) -> None:
-                results[i] = {"path": path, "error": str(exc),
-                              "error_type": type(exc).__name__}
-
-            # phase 1: namespace + access + structural metadata, charged
-            # once per distinct collection instead of once per file
-            coll_state: Dict[str, Any] = {}
-            prepared: List[List[Any]] = []
-            for i, item in enumerate(items):
-                raw_path = str(item.get("path", ""))
-                try:
-                    path = paths.normalize(raw_path)
-                    self._require_local(path, "bulk_ingest")
-                    data = item["data"]
-                    coll = paths.dirname(path)
-                    if coll not in coll_state:
-                        try:
-                            if not self.mcat.collection_exists(coll):
-                                raise NoSuchCollection(
-                                    f"no collection {coll!r}")
-                            self.access.require_collection(principal, coll,
-                                                           "write")
-                            coll_state[coll] = self.mcat.structural_for(coll)
-                        except SrbError as exc:
-                            coll_state[coll] = exc
-                    state = coll_state[coll]
-                    if isinstance(state, SrbError):
-                        raise state
-                    effective_md = apply_structural(
-                        state, item.get("metadata") or {}, coll)
-                    prepared.append(
-                        [i, path, data, item.get("data_type"), effective_md])
-                except SrbError as exc:
-                    fail(i, raw_path, exc)
-
-            # target resolution happens before any catalog write, so a
-            # misconfigured target fails the batch with nothing to undo
-            res_list: List[PhysicalResource] = []
-            cont_path: Optional[str] = None
-            if container is not None:
-                cont_path = paths.normalize(container)
-                cont = self.containers.get_container(cont_path)
-                self.access.require_object(principal, cont, "write")
-            else:
-                resource = resource or self.federation.default_resource
-                if resource is None:
-                    raise NoSuchResource("no resource given and no default")
-                res_list = self.resources.resolve(resource)
-                for res in res_list:
-                    if not self.resources.available(res.name):
-                        raise ResourceUnavailable(
-                            f"resource {res.name!r} is down")
-
-            # phase 2: one bulk catalog write registers every object row
-            specs = [{"path": p, "kind": "data", "data_type": dt,
-                      "size": len(d), "checksum": content_checksum(d)}
-                     for (_i, p, d, dt, _md) in prepared]
-            oids = self.mcat.create_objects(specs, owner=str(principal),
-                                            now=self.now)
-            alive: List[List[Any]] = []
-            for (i, path, data, _dt, md), oid in zip(prepared, oids):
-                if isinstance(oid, SrbError):
-                    fail(i, path, oid)
-                else:
-                    alive.append([i, path, data, md, oid])
-
-            # phase 3: the data leg
-            total_bytes = 0
-            if container is not None:
-                survivors = []
-                for entry in alive:
-                    i, path, data, _md, oid = entry
-                    try:
-                        cont = self.containers.get_container(cont_path)
-                        self.containers.append_member(
-                            cont, oid, data, now=self.now,
-                            server_host=self.host)
-                    except SrbError as exc:
-                        self.mcat.delete_object(oid)
-                        fail(i, path, exc)
-                        continue
-                    total_bytes += len(data)
-                    survivors.append(entry)
-                alive = survivors
-            else:
-                written: Dict[int, List[Tuple[PhysicalResource, str]]] = \
-                    {e[0]: [] for e in alive}
-                for res in res_list:
-                    if not alive:
-                        break
-                    # one session + one pipelined push per resource for
-                    # the whole batch, streams=k as on single transfers
-                    self._resource_session(res)
-                    self._push_to_resource(res,
-                                           sum(len(e[2]) for e in alive))
-                    survivors = []
-                    for entry in alive:
-                        i, path, data, _md, oid = entry
-                        coll = paths.dirname(path)
-                        phys = (f"/srb/{coll.strip('/').replace('/', '_')}/"
-                                f"{oid}-{paths.basename(path)}")
-                        try:
-                            res.driver.create(phys, data)
-                        except SrbError as exc:
-                            for w_res, w_phys in written[i]:
-                                if w_res.driver.exists(w_phys):
-                                    w_res.driver.delete(w_phys)
-                            self.mcat.delete_object(oid)
-                            fail(i, path, exc)
-                            continue
-                        written[i].append((res, phys))
-                        survivors.append(entry)
-                    alive = survivors
-                replica_specs = []
-                for i, path, data, _md, oid in alive:
-                    total_bytes += len(data)
-                    for w_res, w_phys in written[i]:
-                        replica_specs.append(
-                            {"oid": oid, "resource": w_res.name,
-                             "physical_path": w_phys, "size": len(data)})
-                if replica_specs:
-                    self.mcat.add_replicas(replica_specs, now=self.now)
-
-            # phase 4: one bulk catalog write attaches every triple
-            md_specs = [{"target_kind": "object", "target_id": oid,
-                         "attr": attr, "value": value}
-                        for (_i, _p, _d, md, oid) in alive
-                        for attr, value in md.items()]
-            if md_specs:
-                self.mcat.add_metadata_bulk(md_specs, by=str(principal),
-                                            now=self.now)
-
-            for i, path, _data, _md, oid in alive:
-                results[i] = {"path": path, "oid": oid}
-            self._audit(principal, "bulk-ingest", f"{len(items)} items",
-                        detail=f"{total_bytes}B")
-            if sp is not None:
-                sp.incr("payload_bytes", total_bytes)
-            return results
-
-    def bulk_get(self, ticket: Ticket, targets: Sequence[str],
-                 via_container: Optional[str] = None
-                 ) -> List[Dict[str, Any]]:
-        """Retrieve a working set of N objects in one brokered operation.
-
-        Returns a list aligned with ``targets``: ``{"path", "data"}`` or
-        ``{"path", "error", "error_type"}`` per item.  With
-        ``via_container``, the container's bytes are prefetched once
-        (one storage session + one bulk pull) and members of that
-        container are served as local slices — the aggregation win the
-        paper claims for WAN working sets.
-        """
-        with self._op("bulk_get", items=len(targets)) as sp:
-            principal = self._auth(ticket)
-            self._mcat_hop()
-            self.obs.metrics.inc("bulk.batches", op="get")
-            self.obs.metrics.inc("bulk.items", len(targets), op="get")
-            prefetched: Optional[Dict[int, bytes]] = None
-            if via_container is not None:
-                cont = self.containers.get_container(
-                    paths.normalize(via_container))
-                self.access.require_object(principal, cont, "read")
-                prefetched = self._prefetch_container(int(cont["oid"]))
-            results: List[Dict[str, Any]] = []
-            total = 0
-            for raw in targets:
-                try:
-                    path = paths.normalize(str(raw))
-                    obj = self.mcat.find_object(path)
-                    if obj is None:
-                        raise NoSuchObject(f"no object {path!r}")
-                    obj = self._resolve_link(obj)
-                    self.access.require_object(principal, obj, "read")
-                    self.locks.check_read(int(obj["oid"]), principal)
-                    if obj["kind"] not in ("data", "registered", "container"):
-                        raise UnsupportedOperation(
-                            f"bulk_get cannot retrieve kind {obj['kind']!r}")
-                    data = None
-                    if prefetched is not None:
-                        data = prefetched.get(int(obj["oid"]))
-                    if data is None:
-                        data = self._get_bytes(obj, None)
-                    total += len(data)
-                    results.append({"path": path, "data": data})
-                except SrbError as exc:
-                    results.append({"path": str(raw), "error": str(exc),
-                                    "error_type": type(exc).__name__})
-            self._audit(principal, "bulk-get", f"{len(targets)} items",
-                        detail=f"{total}B")
-            if sp is not None:
-                sp.incr("payload_bytes", total)
-            return results
-
-    def _prefetch_container(self, coid: int) -> Dict[int, bytes]:
-        """Fetch a container's bytes once; map member oid -> its slice."""
-        members = self.mcat.container_members(coid)
-        if not members:
-            return {}
-        chain = self.federation.selector.order(self.mcat.replicas(coid),
-                                               from_host=self.host)
-        for rep in [r for r in chain if not r["is_dirty"]]:
-            res = self.resources.physical(rep["resource"])
-            if not self.resources.available(res.name):
-                continue
-            try:
-                self._resource_session(res)
-                blob = res.driver.read_all(rep["physical_path"])
-            except (HostUnreachable, ResourceUnavailable):
-                continue
-            self._pull_from_resource(res, len(blob))
-            return {int(m["oid"]): blob[int(m["offset"]):
-                                        int(m["offset"]) + int(m["size"])]
-                    for m in members}
-        return {}            # fall back to per-item replica reads
-
-    def bulk_query_metadata(self, ticket: Ticket, targets: Sequence[str],
-                            meta_class: Optional[str] = None
-                            ) -> List[Dict[str, Any]]:
-        """Metadata of N paths in one brokered operation: per-item
-        resolution and ACL checks, then a single bulk catalog read."""
-        with self._op("bulk_query_metadata", items=len(targets)):
-            principal = self._auth(ticket)
-            self._mcat_hop()
-            self.obs.metrics.inc("bulk.batches", op="query_metadata")
-            self.obs.metrics.inc("bulk.items", len(targets),
-                                 op="query_metadata")
-            results: List[Dict[str, Any]] = []
-            lookups: List[Tuple[int, str, int]] = []
-            for raw in targets:
-                try:
-                    path = paths.normalize(str(raw))
-                    kind, tid, row = self._target_for_metadata(path)
-                    if kind == "object":
-                        self.access.require_object(principal, row, "read")
-                    else:
-                        self.access.require_collection(principal, path,
-                                                       "read")
-                    lookups.append((len(results), kind, tid))
-                    results.append({"path": path, "metadata": []})
-                except SrbError as exc:
-                    results.append({"path": str(raw), "error": str(exc),
-                                    "error_type": type(exc).__name__})
-            if lookups:
-                rows = self.mcat.get_metadata_bulk(
-                    [(kind, tid) for _idx, kind, tid in lookups],
-                    meta_class=meta_class)
-                for (idx, _kind, _tid), md in zip(lookups, rows):
-                    results[idx]["metadata"] = md
-            self._audit(principal, "bulk-query-metadata",
-                        f"{len(targets)} items")
-            return results
-
-    # ------------------------------------------------------------------
-    # registration (the five registered-object kinds)
-    # ------------------------------------------------------------------
-
-    def _register_common(self, principal: Principal, path: str) -> str:
-        path = paths.normalize(path)
-        self.access.require_collection(principal, paths.dirname(path), "write")
-        return path
-
-    def register_file(self, ticket: Ticket, path: str, resource: str,
-                      physical_path: str,
-                      data_type: Optional[str] = None,
-                      metadata: Optional[Dict[str, str]] = None) -> int:
-        """Register a file that lives outside SRB control (kind 1).
-
-        "Since the file is not fully under SRB's control, the file size
-        and other characteristics might change without SRB being aware."
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = self._register_common(principal, path)
-        res = self.resources.physical(resource)
-        effective_md = self.mcat.validate_ingest_metadata(
-            paths.dirname(path), metadata or {})
-        size = res.driver.size(physical_path) if res.driver.exists(
-            physical_path) else None
-        oid = self.mcat.create_object(
-            path, kind="registered", owner=str(principal), now=self.now,
-            data_type=data_type, size=size, resource_hint=resource,
-            target=physical_path)
-        self.mcat.add_replica(oid, resource, physical_path, size or 0,
-                              now=self.now)
-        for attr, value in effective_md.items():
-            self.mcat.add_metadata("object", oid, attr, value,
-                                   by=str(principal), now=self.now)
-        self._audit(principal, "register", path, detail="file")
-        return oid
-
-    def register_directory(self, ticket: Ticket, path: str, resource: str,
-                           physical_dir: str) -> int:
-        """Register a 'shadow directory object' (kind 2): the cone of
-        files under it is visible, read-only."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = self._register_common(principal, path)
-        self.resources.physical(resource)   # must exist
-        oid = self.mcat.create_object(
-            path, kind="shadow-dir", owner=str(principal), now=self.now,
-            resource_hint=resource, target=physical_dir)
-        self._audit(principal, "register", path, detail="directory")
-        return oid
-
-    def register_sql(self, ticket: Ticket, path: str, resource: str,
-                     sql: str, template: str = "HTMLREL",
-                     partial: bool = False) -> int:
-        """Register a SQL query object (kind 3).
-
-        ``partial`` queries keep a trailing fragment open; the user
-        supplies the remainder at retrieval.  Only SELECTs are accepted
-        ("we recommend that one register only 'select' commands").
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = self._register_common(principal, path)
-        res = self.resources.physical(resource)
-        if res.rtype != "database":
-            raise UnsupportedOperation(
-                f"resource {resource!r} is not a database")
-        if not sql.lstrip().upper().startswith("SELECT"):
-            raise UnsupportedOperation(
-                "registered SQL must start with SELECT")
-        if not partial:
-            from repro.db.sql import is_select_only
-            if not is_select_only(sql):
-                raise UnsupportedOperation(
-                    f"registered SQL does not parse as SELECT-only: {sql!r}")
-        oid = self.mcat.create_object(
-            path, kind="sql", owner=str(principal), now=self.now,
-            data_type="sql query", resource_hint=resource,
-            target=("PARTIAL:" if partial else "") + sql, template=template)
-        self._audit(principal, "register", path, detail="sql")
-        return oid
-
-    def register_url(self, ticket: Ticket, path: str, url: str) -> int:
-        """Register a URL object (kind 4): contents fetched at retrieval."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = self._register_common(principal, path)
-        WebSpace._validate(url)
-        oid = self.mcat.create_object(
-            path, kind="url", owner=str(principal), now=self.now,
-            data_type="url", target=url)
-        self._audit(principal, "register", path, detail="url")
-        return oid
-
-    def register_method(self, ticket: Ticket, path: str, server: str,
-                        command: str, proxy_function: bool = False) -> int:
-        """Register a method object / virtual data (kind 5).
-
-        ``command`` must already exist in the named server's *bin*
-        directory (placed there by an SRB administrator — "this is done as
-        a security precaution"); ``proxy_function=True`` selects the
-        compiled-in proxy-function flavour instead.
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = self._register_common(principal, path)
-        if proxy_function:
-            if command not in self.federation.proxy_functions:
-                raise UnsupportedOperation(
-                    f"no compiled proxy function {command!r}")
-        else:
-            bin_dir = self.federation.proxy_bin.get(server, {})
-            if command not in bin_dir:
-                raise UnsupportedOperation(
-                    f"command {command!r} is not in server {server!r}'s bin "
-                    "directory (ask an SRB administrator)")
-        spec = f"{'function' if proxy_function else 'command'}:{server}:{command}"
-        oid = self.mcat.create_object(
-            path, kind="method", owner=str(principal), now=self.now,
-            data_type="method", target=spec)
-        self._audit(principal, "register", path, detail="method")
-        return oid
-
-    # ------------------------------------------------------------------
-    # retrieval
-    # ------------------------------------------------------------------
-
-    def get(self, ticket: Ticket, path: str,
-            replica_num: Optional[int] = None,
-            args: Optional[str] = None,
-            sql_remainder: Optional[str] = None) -> bytes:
-        """Retrieve an object's contents by logical path.
-
-        Dispatches on object kind; links resolve to their target;
-        failover walks the replica chain when a storage system is down.
-        ``args`` feeds method objects (command-line parameters at
-        invocation); ``sql_remainder`` completes a partial SQL object.
-        """
-        with self._op("get", path=path) as sp:
-            zone = self._foreign_zone(path)
-            if zone is not None:
-                return self._forward(zone, "get", ticket, path=path,
-                                     replica_num=replica_num, args=args,
-                                     sql_remainder=sql_remainder)
-            principal = self._auth(ticket)
-            self._mcat_hop()
-            path = paths.normalize(path)
-            obj = self.mcat.find_object(path)
-            if obj is None:
-                shadow = self._find_shadow(path)
-                if shadow is not None:
-                    return self._get_shadow_member(principal, shadow, path)
-                raise NoSuchObject(f"no object {path!r}")
-            obj = self._resolve_link(obj)
-            self.access.require_object(principal, obj, "read")
-            self.locks.check_read(int(obj["oid"]), principal)
-            kind = obj["kind"]
-            if kind in ("data", "registered"):
-                data = self._get_bytes(obj, replica_num)
-            elif kind == "container":
-                data = self._get_bytes(obj, replica_num)
-            elif kind == "sql":
-                data = self._get_sql(obj, replica_num, sql_remainder)
-            elif kind == "url":
-                data = self._get_url(obj, replica_num)
-            elif kind == "method":
-                data = self._get_method(obj, args)
-            elif kind == "shadow-dir":
-                raise UnsupportedOperation(
-                    f"{path!r} is a registered directory; access files "
-                    "beneath it")
-            else:
-                raise UnsupportedOperation(f"cannot retrieve kind {kind!r}")
-            self._audit(principal, "get", path, detail=f"{len(data)}B")
-            if sp is not None:
-                sp.incr("payload_bytes", len(data))
-            return data
-
-    def _resolve_link(self, obj: Dict[str, Any]) -> Dict[str, Any]:
-        if obj["kind"] != "link":
-            return obj
-        target = self.mcat.find_object(str(obj["target"]))
-        if target is None:
-            raise NoSuchObject(
-                f"link {obj['path']!r} target {obj['target']!r} is gone")
-        return target
-
-    def _get_bytes(self, obj: Dict[str, Any],
-                   replica_num: Optional[int]) -> bytes:
-        oid = int(obj["oid"])
-        replicas = self.mcat.replicas(oid)
-        if replica_num is not None:
-            chain = [r for r in replicas if r["replica_num"] == replica_num]
-            if not chain:
-                raise NoSuchReplica(f"{obj['path']} has no replica {replica_num}")
-        else:
-            chain = self.federation.selector.order(replicas,
-                                                   from_host=self.host)
-            chain = [r for r in chain if not r["is_dirty"]]
-            if not chain:
-                raise ReplicaUnavailable(
-                    f"{obj['path']} has no clean replica")
-        last: Optional[Exception] = None
-        for rep in chain:
-            if rep["container_oid"] is not None:
-                try:
-                    return self.containers.read_member(rep,
-                                                       server_host=self.host)
-                except (ResourceUnavailable, HostUnreachable) as exc:
-                    last = exc
-                    continue
-            res = self.resources.physical(rep["resource"])
-            try:
-                # the open probe discovers a dead storage system the
-                # expensive way: a charged timeout (E2's failover cost)
-                self._resource_session(res)
-                data = res.driver.read(rep["physical_path"])
-            except (HostUnreachable, ResourceUnavailable) as exc:
-                last = exc
-                continue
-            self._pull_from_resource(res, len(data))
-            return data
-        raise ReplicaUnavailable(
-            f"all replicas of {obj['path']!r} unavailable ({last})")
-
-    def _get_sql(self, obj: Dict[str, Any], replica_num: Optional[int],
-                 sql_remainder: Optional[str]) -> bytes:
-        """Execute a registered SQL object at retrieval time and render it
-        with its template (built-in or user style-sheet)."""
-        target = str(obj["target"])
-        resource = obj["resource_hint"]
-        # registered replicas of a SQL object are alternative queries
-        if replica_num is not None:
-            rep = self.mcat.get_replica(int(obj["oid"]), replica_num)
-            target = rep["physical_path"]
-            resource = rep["resource"]
-        if target.startswith("PARTIAL:"):
-            fragment = target[len("PARTIAL:"):]
-            if sql_remainder is None:
-                raise UnsupportedOperation(
-                    f"{obj['path']!r} is a partial query; supply the remainder")
-            sql = fragment + " " + sql_remainder
-        else:
-            sql = target
-        res = self.resources.physical(str(resource))
-        self._resource_session(res)
-        result = res.driver.execute_sql(sql)
-        self._pull_from_resource(
-            res, sum(len(str(v)) for row in result.rows for v in row))
-        template_name = str(obj["template"] or "HTMLREL")
-        sheet = self._load_stylesheet(template_name)
-        return sheet.render(result.columns, result.rows).encode()
-
-    def _load_stylesheet(self, template_name: str) -> StyleSheet:
-        """A template is a built-in name or the SRB path of a style-sheet
-        file already ingested ("the user specifies a file already in SRB
-        as the style-sheet file")."""
-        if template_name.startswith("/"):
-            sheet_obj = self.mcat.find_object(template_name)
-            if sheet_obj is None:
-                raise NoSuchObject(
-                    f"style-sheet {template_name!r} not in SRB")
-            source = self._get_bytes(sheet_obj, None).decode()
-            return StyleSheet(source)
-        return builtin(template_name)
-
-    def _get_url(self, obj: Dict[str, Any],
-                 replica_num: Optional[int]) -> bytes:
-        url = str(obj["target"])
-        if replica_num is not None:
-            rep = self.mcat.get_replica(int(obj["oid"]), replica_num)
-            url = rep["physical_path"]
-        return self.federation.web.fetch(url, self.host)
-
-    def _get_method(self, obj: Dict[str, Any], args: Optional[str]) -> bytes:
-        kind, server_name, command = str(obj["target"]).split(":", 2)
-        if kind == "function":
-            fn = self.federation.proxy_functions[command]
-            return fn(self, args or "")
-        remote = self.federation.server(server_name)
-        if remote.host != self.host:
-            self.network.transfer(self.host, remote.host, _CONTROL_MSG)
-        fn = self.federation.proxy_bin[server_name][command]
-        out = fn(args or "")
-        if remote.host != self.host:
-            self.network.transfer(remote.host, self.host, len(out))
-        return out
-
-    # -- shadow directories ------------------------------------------------------
-
-    def _find_shadow(self, path: str) -> Optional[Dict[str, Any]]:
-        """Nearest ancestor object of kind shadow-dir covering ``path``."""
-        for ancestor in reversed(paths.ancestors(path)):
-            if ancestor == "/":
-                break
-            obj = self.mcat.find_object(ancestor)
-            if obj is not None:
-                return obj if obj["kind"] == "shadow-dir" else None
-        return None
-
-    def _shadow_physical(self, shadow: Dict[str, Any], path: str) -> str:
-        rel = paths.relocate(path, str(shadow["path"]), "/")
-        root = str(shadow["target"]).rstrip("/")
-        return root + rel
-
-    def _get_shadow_member(self, principal: Principal,
-                           shadow: Dict[str, Any], path: str) -> bytes:
-        self.access.require_object(principal, shadow, "read")
-        res = self.resources.physical(str(shadow["resource_hint"]))
-        self._resource_session(res)
-        data = res.driver.read(self._shadow_physical(shadow, path))
-        self._pull_from_resource(res, len(data))
-        self._audit(principal, "get", path, detail="shadow")
-        return data
-
-    def _list_shadow(self, principal: Principal, shadow: Dict[str, Any],
-                     path: str) -> Dict[str, Any]:
-        self.access.require_object(principal, shadow, "read")
-        res = self.resources.physical(str(shadow["resource_hint"]))
-        self._resource_session(res)
-        entries = res.driver.list_dir(self._shadow_physical(shadow, path))
-        colls = [paths.join(path, e[:-1]) for e in entries if e.endswith("/")]
-        objs = [{"path": paths.join(path, e), "name": e, "kind": "shadow-file",
-                 "data_type": None, "owner": shadow["owner"], "size": None,
-                 "version": 1, "modified_at": None}
-                for e in entries if not e.endswith("/")]
-        return {"collections": colls, "objects": objs}
-
-    # ------------------------------------------------------------------
-    # writes / updates
-    # ------------------------------------------------------------------
-
-    def put(self, ticket: Ticket, path: str, data: bytes) -> None:
-        """Overwrite (re-ingest/edit): metadata stays linked; the written
-        replica becomes fresh, siblings become dirty."""
-        self._require_local(path, "put")
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        obj = self._resolve_link(obj)
-        if obj["kind"] not in ("data", "registered"):
-            raise UnsupportedOperation(f"cannot write kind {obj['kind']!r}")
-        self.access.require_object(principal, obj, "write")
-        oid = int(obj["oid"])
-        self.locks.check_write(oid, principal)
-        replicas = self.mcat.replicas(oid)
-        if not replicas:
-            raise ReplicaUnavailable(f"{path!r} has no replicas")
-        chain = pick_clean_available(self.federation.selector, self.resources,
-                                     replicas, from_host=self.host,
-                                     allow_dirty=True)
-        rep = chain[0]
-        if rep["container_oid"] is not None:
-            # containers are "tarfiles but with more flexibility in
-            # accessing and updating files": append the new bytes and
-            # repoint the member (compact_container reclaims the garbage)
-            self.containers.replace_member(rep, data, now=self.now,
-                                           server_host=self.host)
-        else:
-            res = self.resources.physical(rep["resource"])
-            self._resource_session(res)
-            self._push_to_resource(res, len(data))
-            if res.driver.exists(rep["physical_path"]):
-                res.driver.delete(rep["physical_path"])
-            res.driver.create(rep["physical_path"], data)
-            self.mcat.update_replica(oid, rep["replica_num"], size=len(data),
-                                     is_dirty=False)
-            self.mcat.mark_siblings_dirty(oid, rep["replica_num"])
-        self.mcat.update_object(oid, size=len(data), modified_at=self.now,
-                                checksum=content_checksum(data))
-        self._audit(principal, "put", path, detail=f"{len(data)}B")
-
-    def delete(self, ticket: Ticket, path: str,
-               replica_num: Optional[int] = None) -> None:
-        """Delete an object — "one replica at a time and when the last
-        replica is deleted all the metadata and annotations are also
-        deleted".  Registered kinds unlink without touching the physical
-        object; deleting a link unlinks."""
-        self._require_local(path, "delete")
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = paths.normalize(path)
-        obj = self.mcat.get_object(path)
-        self.access.require_object(principal, obj, "own")
-        oid = int(obj["oid"])
-        self.locks.check_write(oid, principal)
-        kind = obj["kind"]
-
-        if kind == "link":
-            self.mcat.delete_object(oid)     # unlink only
-            self._audit(principal, "unlink", path)
-            return
-        if kind in ("sql", "url", "method", "shadow-dir"):
-            self.mcat.delete_object(oid)     # pointer kinds: catalog only
-            self._audit(principal, "delete", path, detail=kind)
-            return
-        if kind == "container" and self.mcat.container_members(oid):
-            raise ContainerError(
-                f"container {path!r} still has members")
-
-        replicas = self.mcat.replicas(oid)
-        doomed = replicas
-        if replica_num is not None:
-            doomed = [r for r in replicas if r["replica_num"] == replica_num]
-            if not doomed:
-                raise NoSuchReplica(f"{path!r} has no replica {replica_num}")
-        for rep in doomed:
-            if self.locks.is_pinned(oid, rep["resource"]):
-                from repro.errors import PinnedFile
-                raise PinnedFile(
-                    f"replica {rep['replica_num']} of {path!r} is pinned "
-                    f"on {rep['resource']}")
-            if kind == "data" and rep["container_oid"] is None:
-                res = self.resources.physical(rep["resource"])
-                if res.driver.exists(rep["physical_path"]):
-                    res.driver.delete(rep["physical_path"])
-            self.mcat.remove_replica(oid, rep["replica_num"])
-        if not self.mcat.replicas(oid):
-            self.mcat.delete_object(oid)     # last replica gone -> cascade
-        self._audit(principal, "delete", path,
-                    detail=f"replica={replica_num}" if replica_num else "all")
-
-    # ------------------------------------------------------------------
-    # replication
-    # ------------------------------------------------------------------
-
-    def replicate(self, ticket: Ticket, path: str, resource: str) -> int:
-        """Create a new replica on ``resource``.
-
-        "The new replica inherits all metadata associated with its
-        siblings" (metadata hangs off the object, so this is automatic).
-        Files inside containers and inside registered directories are not
-        replicable with this operation.
-        """
-        with self._op("replicate", path=path, resource=resource):
-            principal = self._auth(ticket)
-            self._mcat_hop()
-            obj = self.mcat.get_object(paths.normalize(path))
-            obj = self._resolve_link(obj)
-            if obj["kind"] not in ("data", "registered"):
-                raise UnsupportedOperation(
-                    f"cannot replicate kind {obj['kind']!r}; "
-                    "use register_replica")
-            self.access.require_object(principal, obj, "write")
-            oid = int(obj["oid"])
-            replicas = self.mcat.replicas(oid)
-            if any(r["container_oid"] is not None for r in replicas):
-                raise UnsupportedOperation(
-                    "mySRB does not support replication of files inside a "
-                    "container with this operation")
-            chain = pick_clean_available(self.federation.selector,
-                                         self.resources,
-                                         replicas, from_host=self.host)
-            src = chain[0]
-            src_res = self.resources.physical(src["resource"])
-            dst_resources = self.resources.resolve(resource)
-            self._resource_session(src_res)
-            data = src_res.driver.read(src["physical_path"])
-            new_num = -1
-            for dst_res in dst_resources:
-                if not self.resources.available(dst_res.name):
-                    raise ResourceUnavailable(
-                        f"resource {dst_res.name!r} down")
-                if src_res.host != dst_res.host:
-                    self.network.transfer(src_res.host, dst_res.host,
-                                          len(data),
-                                          streams=self.federation.data_streams)
-                phys = f"/srb/replicas/{oid}" \
-                       f"-r{len(self.mcat.replicas(oid)) + 1}" \
-                       f"-{paths.basename(str(obj['path']))}"
-                self._resource_session(dst_res)
-                dst_res.driver.create(phys, data)
-                new_num = self.mcat.add_replica(oid, dst_res.name, phys,
-                                                len(data), now=self.now)
-            self._audit(principal, "replicate", path, detail=resource)
-            return new_num
-
-    def register_replica(self, ticket: Ticket, path: str,
-                         target: str, resource: Optional[str] = None) -> int:
-        """Register another URL/SQL/etc. as a *semantically equal* replica.
-
-        "Note that SRB does not check whether a registered replica is
-        really an equal of the other copy."
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        if obj["kind"] not in ("sql", "url", "shadow-dir", "registered"):
-            raise UnsupportedOperation(
-                f"register_replica applies to registered kinds, "
-                f"not {obj['kind']!r}")
-        self.access.require_object(principal, obj, "write")
-        num = self.mcat.add_replica(
-            int(obj["oid"]), resource or str(obj["resource_hint"] or "@registered"),
-            target, 0, now=self.now)
-        self._audit(principal, "register-replica", path)
-        return num
-
-    def ingest_replica(self, ticket: Ticket, path: str, data: bytes,
-                       resource: str) -> int:
-        """Ingest different bytes as a replica of an existing object —
-        "syntactically different but semantically equal (eg. a tiff file
-        and a gif file of the same image)".  No equality checks."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        obj = self._resolve_link(obj)
-        self.access.require_object(principal, obj, "write")
-        oid = int(obj["oid"])
-        res_list = self.resources.resolve(resource)
-        num = -1
-        for res in res_list:
-            phys = f"/srb/ingested-replicas/{oid}-" \
-                   f"{len(self.mcat.replicas(oid)) + 1}"
-            self._resource_session(res)
-            self._push_to_resource(res, len(data))
-            res.driver.create(phys, data)
-            num = self.mcat.add_replica(oid, res.name, phys, len(data),
-                                        now=self.now)
-        self._audit(principal, "ingest-replica", path)
-        return num
-
-    def synchronize(self, ticket: Ticket, path: str) -> int:
-        """Refresh dirty replicas from a clean one."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "write")
-        count = synchronize(self.mcat, self.resources, self.network,
-                            int(obj["oid"]))
-        self._audit(principal, "synchronize", path, detail=str(count))
-        return count
-
-    # ------------------------------------------------------------------
-    # copy / move / link
-    # ------------------------------------------------------------------
-
-    def copy(self, ticket: Ticket, src: str, dst: str,
-             resource: Optional[str] = None) -> int:
-        """Copy a file (or recursively a collection) to a new logical name.
-
-        "The copy command does not copy any user-defined metadata or
-        annotations. ... these two objects are considered to be entirely
-        different and unconnected."  URL/SQL/method objects cannot be
-        copied.
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        src = paths.normalize(src)
-        dst = paths.normalize(dst)
-        if self.mcat.collection_exists(src):
-            return self._copy_collection(ticket, principal, src, dst, resource)
-        obj = self.mcat.get_object(src)
-        obj = self._resolve_link(obj)
-        if obj["kind"] in ("sql", "url", "method"):
-            raise UnsupportedOperation(
-                "currently we do not support copy of URL, SQL or method "
-                "objects")
-        self.access.require_object(principal, obj, "read")
-        self.access.require_collection(principal, paths.dirname(dst), "write")
-        data = self._get_bytes(obj, None)
-        resource = resource or str(
-            self.mcat.replicas(int(obj["oid"]))[0]["resource"])
-        new_oid = self.mcat.create_object(
-            dst, kind="data", owner=str(principal), now=self.now,
-            data_type=obj["data_type"], size=len(data),
-            checksum=content_checksum(data))
-        for res in self.resources.resolve(resource):
-            phys = f"/srb/copies/{new_oid}-{paths.basename(dst)}"
-            self._resource_session(res)
-            self._push_to_resource(res, len(data))
-            res.driver.create(phys, data)
-            self.mcat.add_replica(new_oid, res.name, phys, len(data),
-                                  now=self.now)
-        self._audit(principal, "copy", src, detail=dst)
-        return new_oid
-
-    def _copy_collection(self, ticket: Ticket, principal: Principal,
-                         src: str, dst: str,
-                         resource: Optional[str]) -> int:
-        self.access.require_collection(principal, src, "read")
-        self.access.require_collection(principal, paths.dirname(dst), "write")
-        cid = self.mcat.create_collection(dst, str(principal), now=self.now)
-        for sub in self.mcat.child_collections(src):
-            self._copy_collection(ticket, principal, sub["path"],
-                                  paths.join(dst, paths.basename(sub["path"])),
-                                  resource)
-        for obj in self.mcat.objects_in_collection(src):
-            if obj["kind"] in ("sql", "url", "method"):
-                continue         # not copyable; skipped like MySRB does
-            self.copy(ticket, obj["path"],
-                      paths.join(dst, str(obj["name"])), resource)
-        return cid
-
-    def move(self, ticket: Ticket, src: str, dst: str) -> None:
-        """Logical move of a file or sub-collection: "the user-defined
-        metadata remains unchanged"."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        src = paths.normalize(src)
-        dst = paths.normalize(dst)
-        if self.mcat.collection_exists(src):
-            self.access.require_collection(principal, src, "own")
-            self.access.require_collection(principal, paths.dirname(dst),
-                                           "write")
-            if self.mcat.collection_exists(dst) or \
-                    self.mcat.object_exists(dst):
-                raise AlreadyExists(f"destination {dst!r} already exists")
-            if src == dst or paths.is_ancestor(src, dst):
-                raise InvalidPath(f"cannot move {src!r} into itself")
-            self.mcat.rename_subtree(src, dst)
-        else:
-            obj = self.mcat.get_object(src)
-            self.access.require_object(principal, obj, "own")
-            self.access.require_collection(principal, paths.dirname(dst),
-                                           "write")
-            self.locks.check_write(int(obj["oid"]), principal)
-            self.mcat.move_object(int(obj["oid"]), dst)
-        self._audit(principal, "move", src, detail=dst)
-
-    def physical_move(self, ticket: Ticket, path: str, resource: str) -> None:
-        """Physical move: relocate the bytes, keep the logical name.
-
-        "This is possible only for files ingested into SRB resources
-        (container-based files cannot be moved using this operation)."
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        if obj["kind"] != "data":
-            raise UnsupportedOperation(
-                "physical move applies to files ingested into SRB")
-        self.access.require_object(principal, obj, "own")
-        oid = int(obj["oid"])
-        self.locks.check_write(oid, principal)
-        replicas = self.mcat.replicas(oid)
-        if any(r["container_oid"] is not None for r in replicas):
-            raise UnsupportedOperation(
-                "container-based files cannot be moved with this operation")
-        dst_list = self.resources.resolve(resource)
-        if len(dst_list) != 1:
-            raise UnsupportedOperation(
-                "physical move targets a single physical resource")
-        dst_res = dst_list[0]
-        chain = pick_clean_available(self.federation.selector, self.resources,
-                                     replicas, from_host=self.host)
-        src = chain[0]
-        src_res = self.resources.physical(src["resource"])
-        self._resource_session(src_res)
-        data = src_res.driver.read(src["physical_path"])
-        if src_res.host != dst_res.host:
-            self.network.transfer(src_res.host, dst_res.host, len(data),
-                                  streams=self.federation.data_streams)
-        phys = f"/srb/moved/{oid}-{paths.basename(str(obj['path']))}"
-        self._resource_session(dst_res)
-        dst_res.driver.create(phys, data)
-        src_res.driver.delete(src["physical_path"])
-        self.mcat.update_replica(oid, src["replica_num"], resource=dst_res.name,
-                                 physical_path=phys, size=len(data))
-        self._audit(principal, "physical-move", path, detail=resource)
-
-    def link(self, ticket: Ticket, target: str, link_path: str) -> int:
-        """Soft-link an object or collection into another collection.
-
-        "Chaining of links is not allowed.  An attempt to link to another
-        link object will result in a direct link to the parent object."
-        Replica-style duplicate links to the same parent are allowed
-        ("one can have more than one link to the same data").
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        target = paths.normalize(target)
-        link_path = paths.normalize(link_path)
-        self.access.require_collection(principal, paths.dirname(link_path),
-                                       "write")
-        tobj = self.mcat.find_object(target)
-        if tobj is not None:
-            if tobj["kind"] == "link":
-                target = str(tobj["target"])       # collapse the chain
-                tobj = self.mcat.find_object(target)
-                if tobj is None:
-                    raise LinkChainError(
-                        f"link target {target!r} no longer exists")
-            self.access.require_object(principal, tobj, "read")
-        elif self.mcat.collection_exists(target):
-            self.access.require_collection(principal, target, "read")
-        else:
-            raise NoSuchObject(f"link target {target!r} does not exist")
-        oid = self.mcat.create_object(
-            link_path, kind="link", owner=str(principal), now=self.now,
-            target=target)
-        self._audit(principal, "link", link_path, detail=target)
-        return oid
-
-    # ------------------------------------------------------------------
-    # migration (persistence claim, experiment E8)
-    # ------------------------------------------------------------------
-
-    def migrate_collection(self, ticket: Ticket, coll: str,
-                           resource: str) -> int:
-        """Recursively move every SRB-managed file under ``coll`` onto
-        ``resource`` — "data can be replicated onto new storage systems by
-        a recursive directory movement command, without changing the name
-        by which the data is discovered and accessed".  Returns the number
-        of objects migrated."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        coll = paths.normalize(coll)
-        self.access.require_collection(principal, coll, "own")
-        moved = 0
-        for obj in self.mcat.objects_in_collection(coll, recursive=True):
-            if obj["kind"] != "data":
-                continue
-            if any(r["container_oid"] is not None
-                   for r in self.mcat.replicas(int(obj["oid"]))):
-                continue
-            self.physical_move(ticket, str(obj["path"]), resource)
-            moved += 1
-        self._audit(principal, "migrate", coll, detail=resource)
-        return moved
-
-    # ------------------------------------------------------------------
-    # metadata operations
-    # ------------------------------------------------------------------
-
-    def _target_for_metadata(self, path: str) -> Tuple[str, int, Dict[str, Any]]:
-        path = paths.normalize(path)
-        obj = self.mcat.find_object(path)
-        if obj is not None:
-            return "object", int(obj["oid"]), obj
-        if self.mcat.collection_exists(path):
-            coll = self.mcat.get_collection(path)
-            return "collection", int(coll["cid"]), coll
-        raise NoSuchObject(f"no object or collection {path!r}")
-
-    def add_metadata(self, ticket: Ticket, path: str, attr: str,
-                     value: Optional[str], units: Optional[str] = None,
-                     meta_class: str = "user",
-                     schema_name: Optional[str] = None) -> int:
-        """Attach one metadata triple.  "User-defined metadata and
-        type-oriented metadata can be ingested only by users who have
-        'ownership' permission" — enforced here."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "own")
-        else:
-            self.access.require_collection(principal, path, "own")
-        mid = self.mcat.add_metadata(kind, tid, attr, value,
-                                     by=str(principal), now=self.now,
-                                     units=units, meta_class=meta_class,
-                                     schema_name=schema_name)
-        self._audit(principal, "add-metadata", path, detail=attr)
-        return mid
-
-    def get_metadata(self, ticket: Ticket, path: str,
-                     meta_class: Optional[str] = None) -> List[Dict[str, Any]]:
-        """All metadata for an object/collection; a link shows its own
-        metadata plus a read-only view of its target's."""
-        zone = self._foreign_zone(path)
-        if zone is not None:
-            return self._forward(zone, "get_metadata", ticket, path=path,
-                                 meta_class=meta_class)
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        path = paths.normalize(path)
-        obj = self.mcat.find_object(path)
-        rows: List[Dict[str, Any]] = []
-        if obj is not None and obj["kind"] == "link":
-            self.access.require_object(principal, obj, "read")
-            rows.extend(self.mcat.get_metadata("object", int(obj["oid"]),
-                                               meta_class))
-            target = self._resolve_link(obj)
-            for row in self.mcat.get_metadata("object", int(target["oid"]),
-                                              meta_class):
-                row = dict(row)
-                row["via_link"] = True
-                rows.append(row)
-            return rows
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "read")
-        else:
-            self.access.require_collection(principal, path, "read")
-        return self.mcat.get_metadata(kind, tid, meta_class)
-
-    def update_metadata(self, ticket: Ticket, path: str, mid: int,
-                        value: Optional[str],
-                        units: Optional[str] = None) -> None:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "own")
-        else:
-            self.access.require_collection(principal, path, "own")
-        self.mcat.update_metadata(mid, value, units)
-        self._audit(principal, "update-metadata", path, detail=str(mid))
-
-    def delete_metadata(self, ticket: Ticket, path: str, mid: int) -> None:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "own")
-        else:
-            self.access.require_collection(principal, path, "own")
-        self.mcat.delete_metadata(mid)
-        self._audit(principal, "delete-metadata", path, detail=str(mid))
-
-    def copy_metadata(self, ticket: Ticket, src: str, dst: str) -> int:
-        """Copy metadata from another SRB object (ingestion method 3)."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        skind, sid, srow = self._target_for_metadata(src)
-        dkind, did, drow = self._target_for_metadata(dst)
-        if skind == "object":
-            self.access.require_object(principal, srow, "read")
-        else:
-            self.access.require_collection(principal, src, "read")
-        if dkind == "object":
-            self.access.require_object(principal, drow, "own")
-        else:
-            self.access.require_collection(principal, dst, "own")
-        count = self.mcat.copy_metadata(skind, sid, dkind, did,
-                                        by=str(principal), now=self.now)
-        self._audit(principal, "copy-metadata", src, detail=dst)
-        return count
-
-    def extract_metadata(self, ticket: Ticket, path: str, method: str,
-                         sidecar: Optional[str] = None) -> int:
-        """Run an extraction method (ingestion method 4).
-
-        Sidecar-style methods read a *second* SRB object (``sidecar``) and
-        attach the triples to ``path``.  Returns triples attached.
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        obj = self._resolve_link(obj)
-        self.access.require_object(principal, obj, "own")
-        data_type = str(obj["data_type"] or "")
-        m = self.federation.extractors.get(data_type, method)
-        if m.from_sidecar:
-            if sidecar is None:
-                raise MetadataError(
-                    f"extraction method {method!r} reads a sidecar object; "
-                    "pass sidecar=")
-            side_obj = self.mcat.get_object(paths.normalize(sidecar))
-            self.access.require_object(principal, side_obj, "read")
-            content = self._get_bytes(side_obj, None)
-        else:
-            content = self._get_bytes(obj, None)
-        triples = m.program.run(content)
-        for t in triples:
-            self.mcat.add_metadata("object", int(obj["oid"]), t.attr, t.value,
-                                   by=str(principal), now=self.now,
-                                   units=t.units)
-        self._audit(principal, "extract-metadata", path,
-                    detail=f"{method}:{len(triples)}")
-        return len(triples)
-
-    def define_structural(self, ticket: Ticket, coll: str, attr: str,
-                          default_value: Optional[str] = None,
-                          vocabulary: Optional[Sequence[str]] = None,
-                          mandatory: bool = False,
-                          comment: Optional[str] = None) -> int:
-        """Collection curator declares required/suggested ingest metadata."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        self.access.require_collection(principal, coll, "own")
-        smid = self.mcat.define_structural(coll, attr,
-                                           default_value=default_value,
-                                           vocabulary=vocabulary,
-                                           mandatory=mandatory,
-                                           comment=comment)
-        self._audit(principal, "define-structural", coll, detail=attr)
-        return smid
-
-    def structural_metadata(self, ticket: Ticket,
-                            coll: str) -> List[Dict[str, Any]]:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        self.access.require_collection(principal, coll, "read")
-        return self.mcat.structural_for(coll)
-
-    # ------------------------------------------------------------------
-    # annotations
-    # ------------------------------------------------------------------
-
-    def add_annotation(self, ticket: Ticket, path: str, ann_type: str,
-                       text: str, location: Optional[str] = None) -> int:
-        """"The annotations and commentary can be inserted by any user
-        with a read permission on the object."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "annotate")
-        else:
-            self.access.require_collection(principal, path, "annotate")
-        aid = self.mcat.add_annotation(kind, tid, ann_type, str(principal),
-                                       text, now=self.now, location=location)
-        self._audit(principal, "annotate", path, detail=ann_type)
-        return aid
-
-    def annotations(self, ticket: Ticket, path: str) -> List[Dict[str, Any]]:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "read")
-        else:
-            self.access.require_collection(principal, path, "read")
-        return self.mcat.annotations_for(kind, tid)
-
-    # ------------------------------------------------------------------
-    # query
-    # ------------------------------------------------------------------
-
-    def query(self, ticket: Ticket, scope: str,
-              conditions: Sequence[Condition | DisplayOnly],
-              include_annotations: bool = False,
-              include_system: bool = False,
-              limit: Optional[int] = None,
-              strategy: str = "auto") -> QueryResult:
-        """Attribute search under ``scope``; results are filtered to
-        objects the caller may read."""
-        with self._op("query", scope=scope) as sp:
-            zone = self._foreign_zone(scope)
-            if zone is not None:
-                return self._forward(zone, "query", ticket, scope=scope,
-                                     conditions=list(conditions),
-                                     include_annotations=include_annotations,
-                                     include_system=include_system,
-                                     limit=limit, strategy=strategy)
-            principal = self._auth(ticket)
-            self._mcat_hop()
-            self.access.require_collection(principal, scope, "read")
-            result = search(self.mcat, scope, conditions,
-                            include_annotations=include_annotations,
-                            include_system=include_system, limit=limit,
-                            strategy=strategy)
-            visible_rows = []
-            for row in result.rows:
-                obj = self.mcat.find_object(str(row[0]))
-                if obj is not None and self.access.can_object(principal, obj,
-                                                              "read"):
-                    visible_rows.append(row)
-            result.rows = visible_rows
-            self._audit(principal, "query", scope,
-                        detail=f"{len(conditions)} conds, "
-                               f"{len(visible_rows)} hits")
-            if sp is not None:
-                sp.incr("rows", len(visible_rows))
-            return result
-
-    def queryable_attrs(self, ticket: Ticket, scope: str,
-                        include_system: bool = False) -> List[str]:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        self.access.require_collection(principal, scope, "read")
-        return queryable_attributes(self.mcat, scope,
-                                    include_system=include_system)
-
-    # ------------------------------------------------------------------
-    # access control administration
-    # ------------------------------------------------------------------
-
-    def grant(self, ticket: Ticket, path: str, principal_str: str,
-              permission: str) -> None:
-        """Owner grants ``permission`` to a user, ``group:<name>`` or ``*``."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "own")
-        else:
-            self.access.require_collection(principal, path, "own")
-        self.mcat.grant(kind, tid, principal_str, permission)
-        self._audit(principal, "grant", path,
-                    detail=f"{principal_str}:{permission}")
-
-    def revoke(self, ticket: Ticket, path: str, principal_str: str) -> None:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        kind, tid, row = self._target_for_metadata(path)
-        if kind == "object":
-            self.access.require_object(principal, row, "own")
-        else:
-            self.access.require_collection(principal, path, "own")
-        self.mcat.revoke(kind, tid, principal_str)
-        self._audit(principal, "revoke", path, detail=principal_str)
-
-    def audit_log(self, ticket: Ticket,
-                  principal_filter: Optional[str] = None,
-                  action: Optional[str] = None,
-                  target: Optional[str] = None) -> List[Dict[str, Any]]:
-        """Auditing facilities (sysadmin only)."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        if not (self.users.exists(principal) and
-                self.users.role_of(principal) == "sysadmin"):
-            raise AccessDenied(principal, "read", "audit log")
-        return self.mcat.audit_query(principal=principal_filter,
-                                     action=action, target=target)
-
-    # ------------------------------------------------------------------
-    # locks / pins / versions
-    # ------------------------------------------------------------------
-
-    def lock(self, ticket: Ticket, path: str, lock_type: str = "shared",
-             lifetime_s: Optional[float] = None) -> int:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "write")
-        from repro.core.locking import DEFAULT_LOCK_LIFETIME_S
-        lid = self.locks.lock(int(obj["oid"]), principal, lock_type,
-                              lifetime_s if lifetime_s is not None
-                              else DEFAULT_LOCK_LIFETIME_S)
-        self._audit(principal, "lock", path, detail=lock_type)
-        return lid
-
-    def unlock(self, ticket: Ticket, path: str) -> int:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        count = self.locks.unlock(int(obj["oid"]), principal)
-        self._audit(principal, "unlock", path)
-        return count
-
-    def pin(self, ticket: Ticket, path: str, resource: str,
-            lifetime_s: Optional[float] = None) -> int:
-        """Pin a replica on a resource so cache management cannot purge it."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "write")
-        oid = int(obj["oid"])
-        target = None
-        for rep in self.mcat.replicas(oid):
-            if rep["resource"] == resource:
-                target = rep
-                break
-        if target is None:
-            raise NoSuchReplica(f"{path!r} has no replica on {resource!r}")
-        from repro.core.locking import DEFAULT_PIN_LIFETIME_S
-        pid = self.locks.pin(oid, resource, principal,
-                             lifetime_s if lifetime_s is not None
-                             else DEFAULT_PIN_LIFETIME_S)
-        res = self.resources.physical(resource)
-        if isinstance(res.driver, ArchiveDriver):
-            res.driver.pin(target["physical_path"])
-        self._audit(principal, "pin", path, detail=resource)
-        return pid
-
-    def unpin(self, ticket: Ticket, path: str, resource: str) -> int:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        oid = int(obj["oid"])
-        count = self.locks.unpin(oid, resource, principal)
-        res = self.resources.physical(resource)
-        if isinstance(res.driver, ArchiveDriver):
-            for rep in self.mcat.replicas(oid):
-                if rep["resource"] == resource:
-                    res.driver.unpin(rep["physical_path"])
-        self._audit(principal, "unpin", path, detail=resource)
-        return count
-
-    def checkout(self, ticket: Ticket, path: str) -> None:
-        """"A checkout by a user disallows any changes to be made to that
-        object" until checkin."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "write")
-        self.locks.checkout(int(obj["oid"]), principal)
-        self._audit(principal, "checkout", path)
-
-    def checkin(self, ticket: Ticket, path: str,
-                data: Optional[bytes] = None) -> int:
-        """Checkin: the older bytes become a numbered historical version;
-        optional ``data`` becomes the new current content."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "write")
-        oid = int(obj["oid"])
-        # snapshot current bytes aside on the first clean replica's resource
-        replicas = self.mcat.replicas(oid)
-        chain = pick_clean_available(self.federation.selector, self.resources,
-                                     replicas, from_host=self.host)
-        rep = chain[0]
-        res = self.resources.physical(rep["resource"])
-        if rep["container_oid"] is None:
-            old = res.driver.read(rep["physical_path"])
-            vpath = f"/srb/versions/{oid}-v{obj['version']}"
-            if res.driver.exists(vpath):
-                res.driver.delete(vpath)
-            res.driver.create(vpath, old)
-            self.locks.record_version(oid, res.name, vpath, len(old),
-                                      principal)
-        new_version = self.locks.checkin(oid, principal)
-        if data is not None:
-            self.put(ticket, path, data)
-        self._audit(principal, "checkin", path, detail=f"v{new_version}")
-        return new_version
-
-    def versions(self, ticket: Ticket, path: str) -> List[Dict[str, Any]]:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "read")
-        return self.locks.versions_of(int(obj["oid"]))
-
-    def get_version(self, ticket: Ticket, path: str, version_num: int) -> bytes:
-        """Retrieve the bytes of a historical version."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        self.access.require_object(principal, obj, "read")
-        for v in self.locks.versions_of(int(obj["oid"])):
-            if v["version_num"] == version_num:
-                res = self.resources.physical(v["resource"])
-                self._resource_session(res)
-                data = res.driver.read(v["physical_path"])
-                self._pull_from_resource(res, len(data))
-                return data
-        raise NoSuchReplica(f"{path!r} has no version {version_num}")
-
-    # ------------------------------------------------------------------
-    # containers
-    # ------------------------------------------------------------------
-
-    def create_container(self, ticket: Ticket, path: str,
-                         logical_resource: str) -> int:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        self.access.require_collection(principal,
-                                       paths.dirname(paths.normalize(path)),
-                                       "write")
-        oid = self.containers.create(path, logical_resource,
-                                     str(principal), now=self.now)
-        self._audit(principal, "create-container", path,
-                    detail=logical_resource)
-        return oid
-
-    def compact_container(self, ticket: Ticket, path: str) -> int:
-        """Rewrite a container keeping only live member slices; returns
-        bytes reclaimed.  Member updates append (log-structured), so a
-        heavily-edited container accumulates garbage until compaction."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        cont = self.containers.get_container(paths.normalize(path))
-        self.access.require_object(principal, cont, "write")
-        reclaimed = self.containers.compact(path, now=self.now,
-                                            server_host=self.host)
-        self._audit(principal, "compact-container", path,
-                    detail=f"{reclaimed}B")
-        return reclaimed
-
-    def container_garbage(self, ticket: Ticket, path: str) -> int:
-        """Bytes of dead space currently in the container."""
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        cont = self.containers.get_container(paths.normalize(path))
-        self.access.require_object(principal, cont, "read")
-        return self.containers.garbage_bytes(int(cont["oid"]))
-
-    def sync_container(self, ticket: Ticket, path: str) -> int:
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        cont = self.containers.get_container(paths.normalize(path))
-        self.access.require_object(principal, cont, "write")
-        count = self.containers.sync(path, now=self.now,
-                                     server_host=self.host)
-        self._audit(principal, "sync-container", path, detail=str(count))
-        return count
-
-    # ------------------------------------------------------------------
-    # integrity
-    # ------------------------------------------------------------------
-
-    def verify_checksums(self, ticket: Ticket, path: str) -> Dict[int, str]:
-        """Compare every reachable replica against the recorded checksum.
-
-        Returns ``{replica_num: "ok" | "mismatch" | "unavailable" |
-        "no-checksum" | "skipped-container"}``.  Replicas ingested with
-        ``ingest_replica`` are *semantically* equal but syntactically
-        different, so a "mismatch" on them is expected and the paper's
-        warning ("SRB does not check for syntactic or semantic equality")
-        applies; this operation reports, it does not judge.
-        """
-        principal = self._auth(ticket)
-        self._mcat_hop()
-        obj = self.mcat.get_object(paths.normalize(path))
-        obj = self._resolve_link(obj)
-        self.access.require_object(principal, obj, "read")
-        expected = obj["checksum"]
-        report: Dict[int, str] = {}
-        for rep in self.mcat.replicas(int(obj["oid"])):
-            num = int(rep["replica_num"])
-            if rep["container_oid"] is not None:
-                report[num] = "skipped-container"
-                continue
-            if expected is None:
-                report[num] = "no-checksum"
-                continue
-            res = self.resources.physical(rep["resource"])
-            try:
-                self._resource_session(res)
-                data = res.driver.read(rep["physical_path"])
-            except (HostUnreachable, ResourceUnavailable,
-                    SrbError):
-                report[num] = "unavailable"
-                continue
-            self._pull_from_resource(res, len(data))
-            report[num] = "ok" if content_checksum(data) == expected \
-                else "mismatch"
-        self._audit(principal, "verify", path,
-                    detail=",".join(f"{k}:{v}" for k, v in report.items()))
-        return report
-

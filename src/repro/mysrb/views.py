@@ -475,6 +475,16 @@ def status_page(client: SrbClient) -> str:
     for name in metrics.counter_names():
         for labels, value in metrics.series(name).items():
             counter_rows.append((name + labels, f"{value:g}"))
+    # served-op totals per (server, plane), from the dispatch pipeline's
+    # uniform srb.ops{server,plane,op} accounting
+    plane_totals: dict = {}
+    for labels, value in metrics.series("srb.ops").items():
+        parts = dict(p.split("=", 1)
+                     for p in labels.strip("{}").split(",") if "=" in p)
+        key = (parts.get("server", "?"), parts.get("plane", "?"))
+        plane_totals[key] = plane_totals.get(key, 0) + value
+    plane_rows = [(srv, plane, f"{value:g}")
+                  for (srv, plane), value in sorted(plane_totals.items())]
     hist_rows = []
     for name in metrics.histogram_names():
         for labels, h in metrics.histogram_series(name).items():
@@ -487,6 +497,9 @@ def status_page(client: SrbClient) -> str:
     bottom = ("<h4>Federation</h4>"
               + H.table(["stat", "value"],
                         [(k, str(v)) for k, v in stat_rows])
+              + "<h4>Server ops by plane</h4>"
+              + (H.table(["server", "plane", "ops"], plane_rows)
+                 if plane_rows else "<p><i>none</i></p>")
               + "<h4>Counters</h4>"
               + (H.table(["metric", "value"], counter_rows)
                  if counter_rows else "<p><i>none</i></p>")

@@ -62,6 +62,25 @@ class BatchItemResult:
         return self.value
 
 
+def _resolve_method(handler: Any, service: str, method: str) -> Callable:
+    """Resolve ``method`` on a handler object.
+
+    A handler may narrow its RPC surface by exposing ``__rpc_lookup__``
+    (the SRB server does: its surface is exactly the registered dispatch
+    ops).  Otherwise any public attribute is callable, as before.
+    """
+    lookup = getattr(handler, "__rpc_lookup__", None)
+    if lookup is not None:
+        fn = lookup(method)
+    else:
+        fn = getattr(handler, method, None)
+        if method.startswith("_"):
+            fn = None
+    if fn is None:
+        raise RpcError(f"service {service!r} has no method {method!r}")
+    return fn
+
+
 class ServiceRegistry:
     """Per-network registry mapping (host, service) -> handler object.
 
@@ -104,9 +123,7 @@ class ServiceRegistry:
         returning file contents cost bandwidth proportional to the data.
         """
         handler = self.lookup(dst, service)
-        fn: Callable = getattr(handler, method, None)
-        if fn is None or method.startswith("_"):
-            raise RpcError(f"service {service!r} has no method {method!r}")
+        fn = _resolve_method(handler, service, method)
 
         obs = self.network.obs
         req_bytes = message_size({"method": method, "kwargs": kwargs})
@@ -206,10 +223,9 @@ class ServiceRegistry:
 
             results: List[BatchItemResult] = []
             for method, kwargs in items:
-                fn: Callable = getattr(handler, method, None)
-                if fn is None or method.startswith("_"):
-                    exc = RpcError(
-                        f"service {service!r} has no method {method!r}")
+                try:
+                    fn = _resolve_method(handler, service, method)
+                except RpcError as exc:
                     results.append(BatchItemResult(ok=False, error=exc))
                     self.stats.failures += 1
                     obs.metrics.inc("rpc.failures", service=service,

@@ -16,7 +16,7 @@ Command summary (``help`` prints the same):
   replicas   Sreplicate Ssync Sverify
   metadata   Smeta Sannotate Squery Sattrs
   access     Schmod Saudit
-  observe    Sstat Strace
+  observe    Sstat Strace Sdispatch
   locking    Slock Sunlock Spin Sunpin Scheckout Scheckin
   containers Smkcont Ssyncont
   register   Sregister
@@ -435,6 +435,20 @@ class Shell:
         tree = tracer.render(root)
         head = output if code == 0 else f"(exit {code}) {output}"
         return (head + "\n\n" if head else "") + tree
+
+    @_usage("Sdispatch [plane]   (connected server's op registry + policies)")
+    def cmd_Sdispatch(self, args: List[str]) -> str:
+        srv = self.client.federation.server(self.client.server_name)
+        text = srv.dispatch.render()
+        if args:
+            plane = args[0]
+            lines = [ln for ln in text.splitlines()
+                     if ln.startswith(plane + " ")]
+            if not lines:
+                raise CommandError(f"no plane {plane!r} (try: auth, "
+                                   "namespace, data, replica, metadata)")
+            text = "\n".join(lines)
+        return text
 
     # ------------------------------------------------------------------
     # locking / versions

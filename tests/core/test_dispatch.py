@@ -1,0 +1,299 @@
+"""Tests for the declarative RPC dispatch pipeline (repro.core.dispatch).
+
+Covers the registry invariants (every op declared exactly once, bad
+declarations fail at import time), the uniform ``srb.ops`` accounting
+(every registered op increments the counter exactly once per call), the
+declarative audit coverage (every mutation audits; denied mutations
+audit ``ok=False``), and the narrowed RPC surface (only registered ops
+are remotely callable).
+"""
+
+from __future__ import annotations
+
+import inspect
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.dispatch import Dispatcher, rpc_op
+from repro.errors import AccessDenied, RpcError, SrbError
+
+#: The six ops that take no subject path and therefore never zone-check.
+UNSCOPED_OPS = {"auth_challenge", "auth_login", "bulk_ingest", "bulk_get",
+                "bulk_query_metadata", "audit_log"}
+
+
+class TestDeclarations:
+    def test_bad_declarations_fail_at_import_time(self):
+        with pytest.raises(ValueError, match="forwardable requires"):
+            rpc_op("x", forwardable=True)
+        with pytest.raises(ValueError, match="read-only"):
+            rpc_op("x", scope_arg="path", forwardable=True, write=True)
+        with pytest.raises(ValueError, match="write requires scope_arg"):
+            rpc_op("x", write=True)
+        with pytest.raises(ValueError, match="exclusive"):
+            rpc_op("x", audit="a", detail="d", detail_arg="d2")
+        with pytest.raises(ValueError, match="require audit="):
+            rpc_op("x", detail_arg="d")
+
+    def test_duplicate_op_name_rejected(self):
+        class Clashing:
+            plane = "p"
+
+            @rpc_op("dup")
+            def one(self, ctx):
+                pass
+
+            @rpc_op("dup")
+            def two(self, ctx):
+                pass
+
+        dispatcher = Dispatcher(None)
+        with pytest.raises(SrbError, match="duplicate rpc op"):
+            dispatcher.register_service(Clashing())
+
+
+class TestRegistryInvariants:
+    def test_every_scoped_op_is_forwardable_or_write(self, fed):
+        srv = fed.server("srb1")
+        for spec in srv.dispatch.specs():
+            if spec.scope_arg is None:
+                assert spec.name in UNSCOPED_OPS, \
+                    f"{spec.name} is unscoped but not in the known set"
+            else:
+                assert spec.forwardable or spec.write, \
+                    f"{spec.name} has a scope but no zone policy"
+
+    def test_every_write_declares_an_audit_action(self, fed):
+        srv = fed.server("srb1")
+        for spec in srv.dispatch.specs():
+            if spec.write:
+                assert spec.audit, f"mutation {spec.name} is not audited"
+
+    def test_planes_cover_the_surface(self, fed):
+        srv = fed.server("srb1")
+        by_plane = {}
+        for spec in srv.dispatch.specs():
+            by_plane.setdefault(spec.plane, []).append(spec.name)
+        assert set(by_plane) == {"auth", "namespace", "data", "replica",
+                                 "metadata"}
+        assert len(srv.dispatch.names()) == sum(map(len, by_plane.values()))
+
+    def test_facade_signatures_match_monolith(self, fed):
+        srv = fed.server("srb1")
+        params = list(inspect.signature(srv.get).parameters)
+        assert params == ["ticket", "path", "replica_num", "args",
+                         "sql_remainder"]
+        # the login handshake never took a ticket
+        assert "ticket" not in inspect.signature(srv.auth_challenge).parameters
+
+    def test_render_lists_every_op(self, fed):
+        srv = fed.server("srb1")
+        text = srv.dispatch.render()
+        for name in srv.dispatch.names():
+            assert name in text
+
+
+def test_lint_dispatch_is_clean():
+    """The contract linter CI runs must pass on the tree as committed."""
+    root = pathlib.Path(__file__).resolve().parents[2]
+    proc = subprocess.run(
+        [sys.executable, str(root / "tools" / "lint_dispatch.py")],
+        cwd=root, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestRpcSurface:
+    def test_internal_helpers_not_remotely_callable(self, fed):
+        for method in ("_auth", "_audit", "_mcat_hop", "dispatch", "mcat",
+                       "planes", "ops_served"):
+            with pytest.raises(RpcError, match="has no method"):
+                fed.rpc.call("laptop", "sdsc", "srb:srb1", method)
+
+    def test_registered_ops_remotely_callable(self, fed):
+        out = fed.rpc.call("laptop", "sdsc", "srb:srb1", "auth_challenge",
+                           username="srbadmin@sdsc")
+        assert "challenge" in out
+
+
+class TestOpsCounterRegression:
+    """Satellite: every registered RPC increments ``srb.ops`` exactly
+    once per call — including failing calls (the span stage runs before
+    the handler) — and the call map below must cover the whole registry,
+    so adding an op without extending it fails loudly."""
+
+    def test_every_op_increments_srb_ops_exactly_once(self, grid):
+        fed = grid.fed
+        srv = fed.server("srb1")
+        T = grid.admin.ticket
+        C = "/demozone/home/opscheck"
+        F = C + "/f.txt"
+        st = {}
+
+        # --- setup: the fixtures each measured call operates on -------
+        srv.mkcoll(T, C)
+        srv.ingest(T, F, b"content-1")
+        srv.mkcoll(T, C + "/doomed")          # rmcoll target
+        srv.mkcoll(T, C + "/mig")             # migrate_collection target
+        srv.ingest(T, C + "/mv.txt", b"m")    # move target
+        srv.ingest(T, C + "/del.txt", b"d")   # delete target
+        srv.ingest(T, C + "/lk.txt", b"l")    # lock/unlock target
+        srv.ingest(T, C + "/co.txt", b"c")    # checkout/checkin target
+        srv.ingest(T, C + "/rep.txt", b"r")   # replica-plane target
+        srv.ingest(T, C + "/pm.txt", b"p")    # physical_move target
+        st["mid"] = srv.add_metadata(T, F, "subject", "ops")
+
+        def expect_error(fn):
+            def run():
+                with pytest.raises(SrbError):
+                    fn()
+            return run
+
+        calls = [
+            ("auth_challenge",
+             lambda: srv.auth_challenge("srbadmin@sdsc")),
+            ("auth_login", expect_error(
+                lambda: srv.auth_login("srbadmin@sdsc", "nonce", "bad"))),
+            ("mkcoll", lambda: srv.mkcoll(T, C + "/sub")),
+            ("rmcoll", lambda: srv.rmcoll(T, C + "/doomed")),
+            ("list_collection", lambda: srv.list_collection(T, C)),
+            ("stat", lambda: srv.stat(T, F)),
+            ("move", lambda: srv.move(T, C + "/mv.txt", C + "/mv2.txt")),
+            ("link", lambda: srv.link(T, F, C + "/lnk")),
+            ("ingest", lambda: srv.ingest(T, C + "/new.txt", b"n")),
+            ("bulk_ingest", lambda: srv.bulk_ingest(
+                T, [{"path": C + "/b1.txt", "data": b"b"}])),
+            ("bulk_get", lambda: srv.bulk_get(T, [F])),
+            ("bulk_query_metadata",
+             lambda: srv.bulk_query_metadata(T, [F])),
+            ("register_file", lambda: srv.register_file(
+                T, C + "/reg.txt", "unix-sdsc", "/outside/reg.txt")),
+            ("register_directory", lambda: srv.register_directory(
+                T, C + "/regdir", "unix-sdsc", "/outside/dir")),
+            ("register_sql", expect_error(lambda: srv.register_sql(
+                T, C + "/q.sql", "unix-sdsc", "SELECT 1"))),
+            ("register_url", lambda: srv.register_url(
+                T, C + "/u.url", "http://example.org/u")),
+            ("register_method", lambda: srv.register_method(
+                T, C + "/m.cmd", "srb1", "srbps", proxy_function=True)),
+            ("get", lambda: srv.get(T, F)),
+            ("put", lambda: srv.put(T, F, b"content-2")),
+            ("delete", lambda: srv.delete(T, C + "/del.txt")),
+            ("copy", lambda: srv.copy(T, F, C + "/copy.txt")),
+            ("lock", lambda: srv.lock(T, C + "/lk.txt")),
+            ("unlock", lambda: srv.unlock(T, C + "/lk.txt")),
+            ("pin", lambda: srv.pin(T, F, "unix-sdsc")),
+            ("unpin", lambda: srv.unpin(T, F, "unix-sdsc")),
+            ("checkout", lambda: srv.checkout(T, C + "/co.txt")),
+            ("checkin", lambda: srv.checkin(T, C + "/co.txt")),
+            ("versions", lambda: srv.versions(T, C + "/co.txt")),
+            ("get_version", lambda: srv.get_version(T, C + "/co.txt", 1)),
+            ("create_container",
+             lambda: srv.create_container(T, C + "/cont", "logrsrc1")),
+            ("compact_container",
+             lambda: srv.compact_container(T, C + "/cont")),
+            ("container_garbage",
+             lambda: srv.container_garbage(T, C + "/cont")),
+            ("sync_container", lambda: srv.sync_container(T, C + "/cont")),
+            ("replicate",
+             lambda: srv.replicate(T, C + "/rep.txt", "unix-caltech")),
+            ("register_replica", lambda: srv.register_replica(
+                T, C + "/reg.txt", "/outside/reg-alt.txt")),
+            ("ingest_replica", lambda: srv.ingest_replica(
+                T, C + "/rep.txt", b"alt", "unix-caltech")),
+            ("synchronize", lambda: srv.synchronize(T, C + "/rep.txt")),
+            ("physical_move",
+             lambda: srv.physical_move(T, C + "/pm.txt", "unix-caltech")),
+            ("migrate_collection",
+             lambda: srv.migrate_collection(T, C + "/mig", "unix-caltech")),
+            ("verify_checksums", lambda: srv.verify_checksums(T, F)),
+            ("add_metadata",
+             lambda: srv.add_metadata(T, F, "color", "blue")),
+            ("get_metadata", lambda: srv.get_metadata(T, F)),
+            ("update_metadata",
+             lambda: srv.update_metadata(T, F, st["mid"], "ops2")),
+            ("delete_metadata",
+             lambda: srv.delete_metadata(T, F, st["mid"])),
+            ("copy_metadata",
+             lambda: srv.copy_metadata(T, F, C + "/copy.txt")),
+            ("extract_metadata", expect_error(
+                lambda: srv.extract_metadata(T, F, "no-such-method"))),
+            ("define_structural",
+             lambda: srv.define_structural(T, C, "series")),
+            ("structural_metadata", lambda: srv.structural_metadata(T, C)),
+            ("add_annotation",
+             lambda: srv.add_annotation(T, F, "comment", "checked")),
+            ("annotations", lambda: srv.annotations(T, F)),
+            ("query", lambda: srv.query(T, C, [])),
+            ("queryable_attrs", lambda: srv.queryable_attrs(T, C)),
+            ("grant", lambda: srv.grant(T, F, "sekar@sdsc", "read")),
+            ("revoke", lambda: srv.revoke(T, F, "sekar@sdsc")),
+            ("audit_log", lambda: srv.audit_log(T)),
+        ]
+
+        # the map must cover the registry: a new op without a row here
+        # is a test failure, not silent shrinkage
+        assert {name for name, _fn in calls} == set(srv.dispatch.names())
+
+        m = fed.obs.metrics
+        for name, fn in calls:
+            before = m.snapshot()
+            fn()
+            delta = m.delta(before)
+            spec = srv.dispatch.get(name).spec
+            assert m.sum_matching(delta, "srb.ops") == 1, \
+                f"{name}: expected exactly one srb.ops increment"
+            labeled = "srb.ops{op=%s,plane=%s,server=srb1}" % (name,
+                                                               spec.plane)
+            assert delta.get(labeled) == 1, \
+                f"{name}: increment missing its op/plane labels"
+
+
+class TestDeclarativeAudit:
+    """Satellite: denied mutations audit ``ok=False``; denied reads do
+    not, and the success audit stays the op's last catalog action."""
+
+    # /demozone/vault sits outside the curator's granted subtree, so the
+    # curator holds no permission on it at all
+    @staticmethod
+    def _vault(grid):
+        grid.admin.mkcoll("/demozone/vault")
+        grid.admin.ingest("/demozone/vault/secret.txt", b"s")
+        return "/demozone/vault/secret.txt"
+
+    def test_denied_mutation_audited_not_ok(self, grid):
+        secret = self._vault(grid)
+        with pytest.raises(AccessDenied):
+            grid.curator.delete(secret)
+        rows = grid.fed.mcat.audit_query(principal="sekar@sdsc",
+                                         action="delete")
+        assert len(rows) == 1
+        assert rows[0]["ok"] is False
+        assert rows[0]["target"] == secret
+
+    def test_denied_read_is_not_audited(self, grid):
+        # an unauthenticated caller holds no grants at all (the curator
+        # has zone-wide read in the standard grid)
+        secret = self._vault(grid)
+        with pytest.raises(AccessDenied):
+            grid.fed.server("srb1").get(None, secret)
+        assert grid.fed.mcat.audit_query(action="get") == []
+
+    def test_denied_grant_audited_not_ok(self, grid):
+        secret = self._vault(grid)
+        with pytest.raises(AccessDenied):
+            grid.curator.grant(secret, "sekar@sdsc", "read")
+        rows = grid.fed.mcat.audit_query(principal="sekar@sdsc",
+                                         action="grant")
+        assert [r["ok"] for r in rows] == [False]
+
+    def test_successful_mutation_audits_once(self, grid):
+        fed = grid.fed
+        path = grid.home + "/a.txt"
+        grid.curator.ingest(path, b"x")
+        rows = fed.mcat.audit_query(action="ingest", target=path)
+        assert len(rows) == 1
+        assert rows[0]["ok"] is True
+        assert rows[0]["principal"] == "sekar@sdsc"

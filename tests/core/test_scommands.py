@@ -383,3 +383,14 @@ class TestObservability:
         grid, sh = shell
         code, out = sh.run("Strace")
         assert code == 1
+
+    def test_sdispatch_lists_the_registry(self, shell):
+        grid, sh = shell
+        out = ok(sh, "Sdispatch")
+        srv = grid.fed.server("srb1")
+        for name in srv.dispatch.names():
+            assert name in out
+        out = ok(sh, "Sdispatch replica")
+        assert "replicate" in out and "mkcoll" not in out
+        code, out = sh.run("Sdispatch bogus")
+        assert code == 1 and "no plane" in out

@@ -28,11 +28,11 @@ class TestTrace:
         # the causal chain nests: client -> RPC -> server op -> driver
         rpc = root.find("rpc.call")
         assert rpc and rpc[0].attrs["method"] == "get"
-        get_spans = root.find("srb.get")
+        get_spans = root.find("srb.data.get")
         assert get_spans and get_spans[0].parent is rpc[0]
         reads = root.find("storage.read")
         assert reads and reads[0].attrs["driver"] == "unix-caltech"
-        assert any(s.name == "srb.get" for s in _ancestors(reads[0]))
+        assert any(s.name == "srb.data.get" for s in _ancestors(reads[0]))
         assert root.find("net.transfer")   # wire hops appear too
 
         # virtual time closes: the root covers the clock delta exactly,

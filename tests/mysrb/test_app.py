@@ -129,6 +129,15 @@ class TestStatusPage:
         assert r.code == 200
         assert "virtual_time_s" in r.text
 
+    def test_status_breaks_ops_down_by_plane(self, web):
+        grid, app, browser = web
+        grid.curator.ingest(f"{grid.home}/p.txt", b"x")
+        grid.curator.get_metadata(f"{grid.home}/p.txt")
+        login(browser)
+        r = browser.get("/status")
+        assert "Server ops by plane" in r.text
+        assert "data" in r.text and "metadata" in r.text
+
 
 class TestIngestFlow:
     def test_ingest_form_has_dublin_core(self, web):

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Lint the plane services against the dispatch pipeline contract.
+
+Two rules keep the refactored server honest (see DESIGN.md, "SRB server
+architecture"):
+
+1. **Every public plane-service method is a declared op.**  The RPC
+   surface is exactly the ``@rpc_op``-decorated methods; a public method
+   without the decorator is either dead code or an op that silently
+   bypasses the pipeline.  Helpers must be underscore-private.
+
+2. **No handler re-implements a pipeline stage inline.**  Auth, span and
+   metrics accounting, cross-zone forwarding, the MCAT hop and audit all
+   belong to the dispatch middleware; a handler calling the server-level
+   plumbing (``_auth``, ``_mcat_hop``, ``_forward``, ...) or writing
+   audit rows directly would double-charge the simulation or drift from
+   the declarative policy.  (The ``ctx.*`` helpers — ``ctx.audit``,
+   ``ctx.require_local`` — are the sanctioned escape hatches and are not
+   flagged.)
+
+Run from the repository root::
+
+    python tools/lint_dispatch.py
+
+Exits non-zero, listing violations, if either rule is broken.  Wired
+into CI next to the test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+from pathlib import Path
+from typing import List
+
+ROOT = Path(__file__).resolve().parent.parent
+PLANES_DIR = ROOT / "src" / "repro" / "core" / "planes"
+
+sys.path.insert(0, str(ROOT / "src"))
+
+#: Server plumbing and catalog calls only pipeline stages may make.
+BANNED_CALLS = {
+    "_auth": "ticket validation is the pipeline's auth stage",
+    "_audit": "audit rows are written by the pipeline's audit stage",
+    "record_audit": "audit rows are written by the pipeline's audit stage",
+    "_mcat_hop": "the catalog round trip is the pipeline's hop stage",
+    "_forward": "cross-zone forwarding is the pipeline's zone stage",
+    "_foreign_zone": "zone classification is the pipeline's zone stage",
+    "_require_local": "zone refusal is the pipeline's zone stage",
+    "_op": "op spans/metrics are the pipeline's span stage",
+}
+
+
+def check_public_methods_declared() -> List[str]:
+    """Rule 1: public plane methods must carry ``@rpc_op``."""
+    from repro.core import planes
+
+    errors = []
+    for cls_name in planes.__all__:
+        cls = getattr(planes, cls_name)
+        if cls_name in ("PlaneService",) or not inspect.isclass(cls):
+            continue
+        for name, member in vars(cls).items():
+            if name.startswith("_") or not inspect.isfunction(member):
+                continue
+            if not hasattr(member, "__rpc_op__"):
+                errors.append(
+                    f"{cls.__module__}.{cls_name}.{name}: public plane "
+                    f"method without @rpc_op — decorate it or make it "
+                    f"_private")
+    return errors
+
+
+def check_no_inline_plumbing() -> List[str]:
+    """Rule 2: handlers must not call pipeline-stage plumbing."""
+    errors = []
+    for path in sorted(PLANES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            reason = BANNED_CALLS.get(node.func.attr)
+            if reason is not None:
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{node.lineno}: call to "
+                    f"{node.func.attr}() in a plane module — {reason}")
+    return errors
+
+
+def main() -> int:
+    errors = check_public_methods_declared() + check_no_inline_plumbing()
+    if errors:
+        print(f"lint_dispatch: {len(errors)} violation(s)")
+        for err in errors:
+            print(f"  {err}")
+        return 1
+    print("lint_dispatch: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
