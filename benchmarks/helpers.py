@@ -11,8 +11,9 @@ pytest-benchmark report too.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.bench import ResultTable
 from repro.core import Federation, SrbClient
@@ -27,6 +28,27 @@ def save_artifact(name: str, content: str) -> str:
     path = os.path.join(OUTPUT_DIR, name)
     with open(path, "w") as fh:
         fh.write(content)
+    return path
+
+
+def record_json(experiment: str, headline: Dict[str, object]) -> str:
+    """Persist an experiment's headline numbers as ``BENCH_<exp>.json``.
+
+    Multiple tests of one experiment merge into the same file (last
+    writer per key wins), so the file accumulates the experiment's full
+    headline set; ``tools/bench_summary.py`` aggregates the files into
+    ``BENCH_summary.json`` for the CI artifact.
+    """
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"BENCH_{experiment}.json")
+    merged: Dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            merged = json.load(fh)
+    merged.update(headline)
+    with open(path, "w") as fh:
+        json.dump(merged, fh, indent=2, sort_keys=True)
+        fh.write("\n")
     return path
 
 

@@ -18,7 +18,7 @@ from repro.bench import ResultTable, assert_monotone
 from repro.core import Federation, SrbClient
 from repro.net.simnet import LinkSpec
 
-from helpers import record_table
+from helpers import record_json, record_table
 
 # a long fat pipe: 10 MB/s capacity, 1 MB/s per TCP stream
 LFN = LinkSpec(latency_s=0.08, bandwidth_bps=10e6, per_stream_bps=1e6)
@@ -63,6 +63,9 @@ def test_e12_stream_sweep(benchmark):
     assert times[0] / times[2] == pytest.approx(4.0, rel=0.15)   # 4 streams
     # 16 streams cannot beat the path capacity: ~10x, not 16x
     assert times[0] / times[-1] == pytest.approx(10.0, rel=0.2)
+    record_json("e12", {
+        "stream_speedup_k4": round(times[0] / times[2], 3),
+        "stream_speedup_k16": round(times[0] / times[-1], 3)})
 
     fed, client = build(4)
     counter = [0]

@@ -30,7 +30,7 @@ from repro.bench import ResultTable, assert_monotone
 from repro.net.simnet import CAMPUS, TRANSCON, WAN, LinkSpec
 from repro.workload import small_files
 
-from helpers import admin_client, flat_fed, record_table
+from helpers import admin_client, flat_fed, record_json, record_table
 
 COLL = "/demozone/bench"
 
@@ -88,6 +88,9 @@ def test_e13_ingest_sweep(benchmark):
     assert speedups[-1] >= 5.0
     # O(1) control plane: message count independent of batch size
     assert len(set(bulk_msgs)) == 1
+    record_json("e13", {
+        "bulk_ingest_speedup_n160": round(speedups[-1], 3),
+        "bulk_msgs_per_batch": bulk_msgs[0]})
 
     fed, client = build()
     files = list(small_files(10, size=4096))

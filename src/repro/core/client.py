@@ -108,10 +108,16 @@ class SrbClient:
 
     def get(self, path: str, replica_num: Optional[int] = None,
             args: Optional[str] = None,
-            sql_remainder: Optional[str] = None) -> bytes:
+            sql_remainder: Optional[str] = None,
+            stripes: Optional[int] = None) -> bytes:
+        kwargs: Dict[str, Any] = {}
+        if stripes is not None:
+            # only serialized when used, so default gets stay
+            # byte-identical on the wire
+            kwargs["stripes"] = stripes
         return self._call("get", ticket=self.ticket, path=path,
                           replica_num=replica_num, args=args,
-                          sql_remainder=sql_remainder)
+                          sql_remainder=sql_remainder, **kwargs)
 
     def put(self, path: str, data: bytes) -> None:
         return self._call("put", ticket=self.ticket, path=path, data=data)

@@ -17,6 +17,7 @@ from repro.core.dispatch import OpContext, rpc_op
 from repro.core.planes.base import PlaneService, _CONTROL_MSG, \
     content_checksum
 from repro.core.replication import pick_clean_available
+from repro.net.simnet import TransferGroup
 from repro.errors import (
     ContainerError,
     HostUnreachable,
@@ -88,25 +89,27 @@ class DataService(PlaneService):
                 if resource is None:
                     raise NoSuchResource(
                         "no resource given and no default")
-                for res in self.resources.resolve(resource):
-                    if not self.resources.available(res.name):
-                        raise ResourceUnavailable(
-                            f"resource {res.name!r} is down")
-                    phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
-                           f"{oid}-{paths.basename(path)}"
-                    self._resource_session(res)
-                    self._push_to_resource(res, len(data))
-                    res.driver.create(phys, data)
-                    created.append((res, phys))
-                    self.mcat.add_replica(oid, res.name, phys, len(data),
-                                          now=self.now)
+                res_list = self.resources.resolve(resource)
+                phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
+                       f"{oid}-{paths.basename(path)}"
+                if self.federation.parallel_fanout and len(res_list) > 1:
+                    self._ingest_fanout(oid, phys, data, res_list, created)
+                else:
+                    for res in res_list:
+                        if not self.resources.available(res.name):
+                            raise ResourceUnavailable(
+                                f"resource {res.name!r} is down")
+                        self._resource_session(res)
+                        self._push_to_resource(res, len(data))
+                        res.driver.create(phys, data)
+                        created.append((res, phys))
+                        self.mcat.add_replica(oid, res.name, phys,
+                                              len(data), now=self.now)
         except SrbError:
             # no half-ingested objects — and no orphaned physical
             # bytes: files already written on earlier members of a
             # logical resource are removed too
-            for res, phys in created:
-                if res.driver.exists(phys):
-                    res.driver.delete(phys)
+            self._rollback_created(created)
             self.mcat.delete_object(oid)
             raise
 
@@ -120,6 +123,60 @@ class DataService(PlaneService):
         if ctx.span is not None:
             ctx.span.incr("payload_bytes", len(data))
         return oid
+
+    def _ingest_fanout(self, oid: int, phys: str, data: bytes,
+                       res_list: Sequence[PhysicalResource],
+                       created: List[Tuple[PhysicalResource, str]]) -> None:
+        """Write all members of a logical resource concurrently.
+
+        The member pushes run as one :class:`TransferGroup`: the ingest
+        charges the slowest member's cost (makespan), not the serial
+        sum — sequential ≈ Σ costs → parallel ≈ max.  Any member failure
+        aborts the ingest before a single byte lands on a driver, so the
+        caller's rollback has only catalog rows to undo.
+        """
+        for res in res_list:
+            if not self.resources.available(res.name):
+                raise ResourceUnavailable(
+                    f"resource {res.name!r} is down")
+        for res in res_list:
+            self._resource_session(res)
+        group = TransferGroup(self.network, label="ingest-fanout")
+        for res in res_list:
+            if res.host != self.host:
+                group.add(self.host, res.host, len(data),
+                          streams=self.federation.data_streams,
+                          key=res.name)
+        for outcome in group.run():
+            if not outcome.ok:
+                self._invalidate_session(
+                    self.resources.physical(outcome.key))
+                raise outcome.error
+        for res in res_list:
+            res.driver.create(phys, data)
+            created.append((res, phys))
+            self.mcat.add_replica(oid, res.name, phys, len(data),
+                                  now=self.now)
+
+    def _rollback_created(self, created: Sequence[
+            Tuple[PhysicalResource, str]]) -> None:
+        """Remove half-written files after a failed ingest.
+
+        Cleanup is not free on the wire: deleting a file on a *remote*
+        member costs one control message (counted in ``net.messages``).
+        A member that became unreachable keeps its orphaned bytes — the
+        failed delete attempt is charged like any timed-out message.
+        """
+        for res, phys in created:
+            if res.host != self.host:
+                try:
+                    self.network.transfer(self.host, res.host,
+                                          _CONTROL_MSG)
+                except HostUnreachable:
+                    self._invalidate_session(res)
+                    continue
+            if res.driver.exists(phys):
+                res.driver.delete(phys)
 
     # ------------------------------------------------------------------
     # bulk operations (the Sbload-style amortized data plane)
@@ -315,6 +372,12 @@ class DataService(PlaneService):
             prefetched = self._prefetch_container(int(cont["oid"]))
         results: List[Dict[str, Any]] = []
         total = 0
+        # with parallel_fanout, the per-item wire pulls are deferred and
+        # batched into one TransferGroup below: pulls landing on
+        # distinct storage hosts overlap, so the batch charges the
+        # slowest host's share instead of the serial sum
+        overlap = self.federation.parallel_fanout
+        owed: Dict[int, PhysicalResource] = {}
         for raw in targets:
             try:
                 path = paths.normalize(str(raw))
@@ -331,12 +394,32 @@ class DataService(PlaneService):
                 if prefetched is not None:
                     data = prefetched.get(int(obj["oid"]))
                 if data is None:
-                    data = self._get_bytes(obj, None)
+                    if overlap:
+                        data, res = self._read_replica(obj, None)
+                        if res is not None:
+                            owed[len(results)] = res
+                    else:
+                        data = self._get_bytes(obj, None)
                 total += len(data)
                 results.append({"path": path, "data": data})
             except SrbError as exc:
                 results.append({"path": str(raw), "error": str(exc),
                                 "error_type": type(exc).__name__})
+        if owed:
+            group = TransferGroup(self.network, label="bulk-get")
+            for idx, res in owed.items():
+                group.add(res.host, self.host,
+                          len(results[idx]["data"]),
+                          streams=self.federation.data_streams, key=idx)
+            for outcome in group.run():
+                if not outcome.ok:
+                    idx = outcome.key
+                    self._invalidate_session(owed[idx])
+                    total -= len(results[idx]["data"])
+                    results[idx] = {
+                        "path": results[idx]["path"],
+                        "error": str(outcome.error),
+                        "error_type": type(outcome.error).__name__}
         ctx.audit(target=f"{len(targets)} items", detail=f"{total}B")
         if ctx.span is not None:
             ctx.span.incr("payload_bytes", total)
@@ -357,6 +440,7 @@ class DataService(PlaneService):
                 self._resource_session(res)
                 blob = res.driver.read_all(rep["physical_path"])
             except (HostUnreachable, ResourceUnavailable):
+                self._invalidate_session(res)
                 continue
             self._pull_from_resource(res, len(blob))
             return {int(m["oid"]): blob[int(m["offset"]):
@@ -536,13 +620,19 @@ class DataService(PlaneService):
     def get(self, ctx: OpContext, path: str,
             replica_num: Optional[int] = None,
             args: Optional[str] = None,
-            sql_remainder: Optional[str] = None) -> bytes:
+            sql_remainder: Optional[str] = None,
+            stripes: Optional[int] = None) -> bytes:
         """Retrieve an object's contents by logical path.
 
         Dispatches on object kind; links resolve to their target;
         failover walks the replica chain when a storage system is down.
         ``args`` feeds method objects (command-line parameters at
         invocation); ``sql_remainder`` completes a partial SQL object.
+        ``stripes=k`` opts a large read into SRB parallel I/O: up to
+        ``k`` disjoint chunks pulled concurrently from ``k`` clean
+        replicas on distinct hosts (falls back to the ordinary chain
+        walk when fewer than two are usable or ``replica_num`` pins
+        the read).
         """
         principal = ctx.principal
         path = paths.normalize(path)
@@ -557,10 +647,12 @@ class DataService(PlaneService):
         self.access.require_object(principal, obj, "read")
         self.locks.check_read(int(obj["oid"]), principal)
         kind = obj["kind"]
-        if kind in ("data", "registered"):
-            data = self._get_bytes(obj, replica_num)
-        elif kind == "container":
-            data = self._get_bytes(obj, replica_num)
+        if kind in ("data", "registered", "container"):
+            data = None
+            if stripes is not None and stripes > 1 and replica_num is None:
+                data = self._get_bytes_striped(obj, stripes)
+            if data is None:
+                data = self._get_bytes(obj, replica_num)
         elif kind == "sql":
             data = self._get_sql(obj, replica_num, sql_remainder)
         elif kind == "url":
@@ -580,6 +672,22 @@ class DataService(PlaneService):
 
     def _get_bytes(self, obj: Dict[str, Any],
                    replica_num: Optional[int]) -> bytes:
+        data, res = self._read_replica(obj, replica_num)
+        if res is not None:
+            self._pull_from_resource(res, len(data))
+        return data
+
+    def _read_replica(self, obj: Dict[str, Any],
+                      replica_num: Optional[int]
+                      ) -> Tuple[bytes, Optional[PhysicalResource]]:
+        """Chain-walk to the first readable replica; defer the wire pull.
+
+        Returns ``(data, resource)`` where ``resource`` is the remote
+        resource whose pull the *caller* still owes on the network (so
+        ``bulk_get`` can batch many pulls into one
+        :class:`TransferGroup`), or ``None`` when the bytes are already
+        fully paid for (local replica, or a container member — its read
+        charges its own transfers)."""
         oid = int(obj["oid"])
         replicas = self.mcat.replicas(oid)
         if replica_num is not None:
@@ -598,8 +706,8 @@ class DataService(PlaneService):
         for rep in chain:
             if rep["container_oid"] is not None:
                 try:
-                    return self.containers.read_member(rep,
-                                                       server_host=self.host)
+                    return self.containers.read_member(
+                        rep, server_host=self.host), None
                 except (ResourceUnavailable, HostUnreachable) as exc:
                     last = exc
                     continue
@@ -610,12 +718,93 @@ class DataService(PlaneService):
                 self._resource_session(res)
                 data = res.driver.read(rep["physical_path"])
             except (HostUnreachable, ResourceUnavailable) as exc:
+                self._invalidate_session(res)
                 last = exc
                 continue
-            self._pull_from_resource(res, len(data))
-            return data
+            return data, (res if res.host != self.host else None)
         raise ReplicaUnavailable(
             f"all replicas of {obj['path']!r} unavailable ({last})")
+
+    def _get_bytes_striped(self, obj: Dict[str, Any],
+                           stripes: int) -> Optional[bytes]:
+        """Read one object as ``stripes`` chunks from distinct replicas.
+
+        SRB's parallel I/O for large objects: when an object has clean
+        replicas on several storage hosts, the server pulls disjoint
+        byte ranges from up to ``stripes`` of them concurrently — one
+        :class:`TransferGroup`, so the read charges the slowest chunk
+        instead of the whole object over one path.  The payoff scales
+        until the per-stream/path knee (experiment E14).
+
+        Returns ``None`` when striping cannot help (fewer than two
+        usable replicas on distinct hosts) so the caller falls back to
+        the ordinary chain walk.  A chunk whose replica fails mid-group
+        is re-pulled from the first healthy replica; if *every* replica
+        fails the usual :class:`ReplicaUnavailable` is raised.
+        """
+        oid = int(obj["oid"])
+        chain = self.federation.selector.order(self.mcat.replicas(oid),
+                                               from_host=self.host)
+        usable: List[Tuple[Dict[str, Any], PhysicalResource]] = []
+        seen_hosts = set()
+        for rep in chain:
+            if rep["is_dirty"] or rep["container_oid"] is not None:
+                continue
+            res = self.resources.physical(rep["resource"])
+            if res.host == self.host or res.host in seen_hosts:
+                continue
+            if not self.resources.available(res.name):
+                continue
+            seen_hosts.add(res.host)
+            usable.append((rep, res))
+            if len(usable) >= stripes:
+                break
+        if len(usable) < 2:
+            return None
+
+        alive: List[Tuple[Dict[str, Any], PhysicalResource]] = []
+        for rep, res in usable:
+            try:
+                self._resource_session(res)
+            except (HostUnreachable, ResourceUnavailable):
+                self._invalidate_session(res)
+                continue
+            alive.append((rep, res))
+        if len(alive) < 2:
+            return None       # not enough healthy paths; chain walk wins
+        usable = alive
+        # bytes come off the first replica's driver (every clean replica
+        # holds the same content); the *wire* cost is what stripes
+        data = usable[0][1].driver.read(usable[0][0]["physical_path"])
+        if not data:
+            return data
+        k = len(usable)
+        chunk = -(-len(data) // k)      # ceil division
+        bounds = [(i * chunk, min((i + 1) * chunk, len(data)))
+                  for i in range(k)]
+        group = TransferGroup(self.network, label="striped-get")
+        for (lo, hi), (_rep, res) in zip(bounds, usable):
+            group.add(res.host, self.host, hi - lo,
+                      streams=self.federation.data_streams, key=res.name)
+        outcomes = group.run()
+        failed = [o for o in outcomes if not o.ok]
+        for o in failed:
+            self._invalidate_session(self.resources.physical(o.key))
+        if failed:
+            # failed stripes are re-pulled from the first replica whose
+            # own stripe answered; if none did, the object really is
+            # unreachable on every striped path
+            healthy = [o for o in outcomes if o.ok]
+            if not healthy:
+                raise ReplicaUnavailable(
+                    f"all striped replicas of {obj['path']!r} "
+                    f"unavailable ({failed[0].error})")
+            src = self.resources.physical(healthy[0].key)
+            self.network.transfer(src.host, self.host,
+                                  sum(o.nbytes for o in failed),
+                                  streams=self.federation.data_streams)
+        self.obs.metrics.inc("srb.striped_reads", stripes=str(k))
+        return data
 
     def _get_sql(self, obj: Dict[str, Any], replica_num: Optional[int],
                  sql_remainder: Optional[str]) -> bytes:

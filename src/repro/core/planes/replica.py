@@ -127,7 +127,9 @@ class ReplicaService(PlaneService):
         obj = self.mcat.get_object(paths.normalize(path))
         self.access.require_object(ctx.principal, obj, "write")
         count = synchronize(self.mcat, self.resources, self.network,
-                            int(obj["oid"]))
+                            int(obj["oid"]),
+                            parallel=self.federation.parallel_fanout,
+                            streams=self.federation.data_streams)
         ctx.audit(detail=str(count))
         return count
 
@@ -226,6 +228,7 @@ class ReplicaService(PlaneService):
                 data = res.driver.read(rep["physical_path"])
             except (HostUnreachable, ResourceUnavailable,
                     SrbError):
+                self._invalidate_session(res)
                 report[num] = "unavailable"
                 continue
             self._pull_from_resource(res, len(data))

@@ -20,7 +20,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ReplicaUnavailable, ReplicationError
 from repro.mcat.catalog import Mcat
-from repro.net.simnet import Network
+from repro.net.simnet import Network, TransferGroup
 from repro.storage.resource import ResourceRegistry
 
 SELECTION_POLICIES = ("primary", "round-robin", "random", "nearest")
@@ -115,11 +115,16 @@ def pick_clean_available(selector: ReplicaSelector,
 
 
 def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
-                oid: int) -> int:
+                oid: int, parallel: bool = False, streams: int = 1) -> int:
     """Refresh every dirty replica of ``oid`` from a clean one.
 
     Bytes move clean-resource-host -> dirty-resource-host; returns the
-    number of replicas refreshed.
+    number of replicas refreshed.  With ``parallel=True`` the refresh
+    pushes run as one :class:`~repro.net.simnet.TransferGroup`: the
+    clean source fans out to every dirty host concurrently, charging
+    the slowest member (makespan) instead of the serial sum.  A member
+    whose host fails mid-group is skipped — it stays dirty and does not
+    poison its siblings' refresh.
     """
     replicas = mcat.replicas(oid)
     clean = [r for r in replicas if not r["is_dirty"]
@@ -139,13 +144,30 @@ def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
         raise ReplicaUnavailable(f"no clean replica of {oid} reachable")
     src_res = resources.physical(source["resource"])
     data = src_res.driver.read_all(source["physical_path"])
+
+    targets = [rep for rep in dirty
+               if resources.available(rep["resource"])]
+    skipped: set = set()
+    if parallel and len(targets) > 1:
+        group = TransferGroup(network, label="synchronize")
+        for rep in targets:
+            dst_res = resources.physical(rep["resource"])
+            if src_res.host != dst_res.host:
+                group.add(src_res.host, dst_res.host, len(data),
+                          streams=streams, key=rep["replica_num"])
+        for outcome in group.run():
+            if not outcome.ok:
+                skipped.add(outcome.key)
+
     refreshed = 0
-    for rep in dirty:
-        dst_res = resources.physical(rep["resource"])
-        if not resources.available(dst_res.name):
+    for rep in targets:
+        if rep["replica_num"] in skipped:
             continue
-        if src_res.host != dst_res.host:
-            network.transfer(src_res.host, dst_res.host, len(data))
+        dst_res = resources.physical(rep["resource"])
+        if not parallel or len(targets) <= 1:
+            if src_res.host != dst_res.host:
+                network.transfer(src_res.host, dst_res.host, len(data),
+                                 streams=streams)
         if dst_res.driver.exists(rep["physical_path"]):
             dst_res.driver.delete(rep["physical_path"])
         dst_res.driver.create(rep["physical_path"], data)

@@ -97,6 +97,10 @@ class SrbServer:
         self.federation = federation
         self.is_mcat_server = is_mcat_server
         self.ops_served = 0
+        # live server<->resource sessions: resource name -> the network
+        # topology epoch the session was opened under (planes/base.py
+        # consults it when Federation(session_cache=True))
+        self._session_cache: Dict[str, int] = {}
 
         self.auth = AuthService(self)
         self.namespace = NamespaceService(self)
@@ -118,6 +122,15 @@ class SrbServer:
         if method in self.dispatch:
             return getattr(self, method)
         return None
+
+    def reset_sessions(self) -> int:
+        """Explicitly drop every cached resource session (admin knob);
+        returns how many sessions were flushed.  The next touch of each
+        resource pays the full open probe (and, without SSO, the
+        challenge–response) again."""
+        count = len(self._session_cache)
+        self._session_cache.clear()
+        return count
 
     # ------------------------------------------------------------------
     # shorthand accessors

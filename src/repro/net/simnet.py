@@ -23,12 +23,19 @@ Two transfer modes exist:
     ``busy_until`` bookkeeping *without* advancing the global clock, so a
     benchmark can issue many logically-concurrent reads and measure
     aggregate throughput (load-balancing experiment E3).
+
+A third mode sits between them: :class:`TransferGroup` schedules a *set*
+of member transfers concurrently and charges their **makespan** (the
+completion time of the slowest member), not the sum, to the global
+clock.  It is the primitive behind the overlapped data plane (experiment
+E14): logical-resource ingest fan-out, parallel replica refresh and
+striped multi-replica reads all ride on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import HostUnreachable, NetworkError
 from repro.obs import Observability
@@ -109,6 +116,11 @@ class Network:
         self.messages_sent = 0
         self.bytes_sent = 0
         self.failed_attempts = 0
+        # Bumped on every topology mutation (set_down/set_up/partition/
+        # heal).  Anything caching reachability-derived state — the SRB
+        # servers' resource-session cache — keys its entries on this and
+        # treats a stale epoch as "the session may have died".
+        self.topology_epoch = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -145,17 +157,21 @@ class Network:
 
     def set_down(self, name: str) -> None:
         self.host(name).up = False
+        self.topology_epoch += 1
 
     def set_up(self, name: str) -> None:
         self.host(name).up = True
+        self.topology_epoch += 1
 
     def partition(self, a: str, b: str) -> None:
         """Make ``a`` and ``b`` mutually unreachable (symmetric)."""
         self.host(a), self.host(b)
         self._partitions.add(frozenset((a, b)))
+        self.topology_epoch += 1
 
     def heal(self, a: str, b: str) -> None:
         self._partitions.discard(frozenset((a, b)))
+        self.topology_epoch += 1
 
     def reachable(self, src: str, dst: str) -> bool:
         if not self.host(src).up or not self.host(dst).up:
@@ -171,6 +187,30 @@ class Network:
             raise HostUnreachable(f"host {src!r} is down")
         if frozenset((src, dst)) in self._partitions:
             raise HostUnreachable(f"hosts {src!r} and {dst!r} are partitioned")
+
+    # Shared accounting: every transfer mode (blocking, queued, grouped)
+    # counts messages/bytes/failures identically, so the federation-wide
+    # stats explain latencies the same way regardless of scheduling.
+
+    def _count_failure(self, src: str, dst: str) -> None:
+        """Counter/metric bookkeeping for one timed-out attempt."""
+        self.messages_sent += 1
+        self.failed_attempts += 1
+        self.obs.tracer.add("messages", 1)
+        self.obs.tracer.add("failed_attempts", 1)
+        self.obs.metrics.inc("net.messages", src=src, dst=dst)
+        self.obs.metrics.inc("net.failed_attempts", src=src, dst=dst)
+
+    def _count_success(self, src: str, dst: str, nbytes: int,
+                       cost: float) -> None:
+        """Counter/metric bookkeeping for one delivered message."""
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        self.obs.tracer.add("messages", 1)
+        self.obs.tracer.add("bytes", nbytes)
+        self.obs.metrics.inc("net.messages", src=src, dst=dst)
+        self.obs.metrics.inc("net.bytes", nbytes, src=src, dst=dst)
+        self.obs.metrics.observe("net.transfer_s", cost, src=src, dst=dst)
 
     def transfer(self, src: str, dst: str, nbytes: int = 0,
                  streams: int = 1) -> float:
@@ -197,24 +237,13 @@ class Network:
                 if sp is not None:
                     sp.error = str(exc)
                 self.clock.advance(2 * spec.latency_s)
-            self.messages_sent += 1
-            self.failed_attempts += 1
-            self.obs.tracer.add("messages", 1)
-            self.obs.tracer.add("failed_attempts", 1)
-            self.obs.metrics.inc("net.messages", src=src, dst=dst)
-            self.obs.metrics.inc("net.failed_attempts", src=src, dst=dst)
+            self._count_failure(src, dst)
             raise
         cost = spec.cost(nbytes, streams=streams)
         with self.obs.tracer.span("net.transfer", src=src, dst=dst,
                                   bytes=nbytes, streams=streams):
             self.clock.advance(cost)
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
-        self.obs.tracer.add("messages", 1)
-        self.obs.tracer.add("bytes", nbytes)
-        self.obs.metrics.inc("net.messages", src=src, dst=dst)
-        self.obs.metrics.inc("net.bytes", nbytes, src=src, dst=dst)
-        self.obs.metrics.observe("net.transfer_s", cost, src=src, dst=dst)
+        self._count_success(src, dst, nbytes, cost)
         return cost
 
     def schedule_transfer(self, src: str, dst: str, nbytes: int,
@@ -232,6 +261,9 @@ class Network:
         Failure accounting matches :meth:`transfer`: an unreachable
         destination charges one timeout RTT on the global clock (the
         caller *did* wait to find out) and counts as a failed message.
+        The success path emits the same ``net.transfer`` span (with
+        ``queued=True``) and ``net.transfer_s`` observation a blocking
+        transfer does, so queued traffic is visible to tracing.
         """
         spec = self.link(src, dst)
         try:
@@ -242,26 +274,192 @@ class Network:
                 if sp is not None:
                     sp.error = str(exc)
                 self.clock.advance(2 * spec.latency_s)
-            self.messages_sent += 1
-            self.failed_attempts += 1
-            self.obs.tracer.add("messages", 1)
-            self.obs.tracer.add("failed_attempts", 1)
-            self.obs.metrics.inc("net.messages", src=src, dst=dst)
-            self.obs.metrics.inc("net.failed_attempts", src=src, dst=dst)
+            self._count_failure(src, dst)
             raise
         s, d = self.host(src), self.host(dst)
         start = max(self.clock.now, s.busy_until, d.busy_until,
                     not_before if not_before is not None else 0.0)
-        done = start + spec.cost(nbytes, streams=streams)
+        cost = spec.cost(nbytes, streams=streams)
+        done = start + cost
+        with self.obs.tracer.span("net.transfer", src=src, dst=dst,
+                                  bytes=nbytes, streams=streams,
+                                  queued=True, start=start, done=done):
+            pass    # queued: completion is bookkeeping, not clock time
         s.busy_until = done
         d.busy_until = done
-        self.messages_sent += 1
-        self.bytes_sent += nbytes
-        self.obs.metrics.inc("net.messages", src=src, dst=dst)
-        self.obs.metrics.inc("net.bytes", nbytes, src=src, dst=dst)
+        self._count_success(src, dst, nbytes, cost)
         return done
+
+    def parallel_transfers(self, members, label: str = "parallel"
+                           ) -> List["TransferOutcome"]:
+        """Run a set of transfers concurrently; charge the makespan.
+
+        ``members`` is an iterable of ``(src, dst, nbytes)`` or
+        ``(src, dst, nbytes, streams)`` tuples.  Convenience wrapper over
+        :class:`TransferGroup` for callers without per-member keys.
+        """
+        group = TransferGroup(self, label=label)
+        for member in members:
+            group.add(*member)
+        return group.run()
 
     def reset_queues(self) -> None:
         """Clear ``busy_until`` bookkeeping between benchmark trials."""
         for h in self._hosts.values():
             h.busy_until = 0.0
+
+
+@dataclass
+class TransferOutcome:
+    """Result of one member of a :class:`TransferGroup`.
+
+    ``error`` carries the member's :class:`HostUnreachable` instead of
+    raising it — a downed member must not poison its siblings, so the
+    group marshals failures per member and lets the caller decide.
+    ``start``/``done`` are virtual timestamps; for a failed member
+    ``done - start`` is the charged timeout.
+    """
+
+    src: str
+    dst: str
+    nbytes: int
+    start: float
+    done: float
+    cost: float
+    key: Any = None
+    error: Optional[HostUnreachable] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class _Member:
+    src: str
+    dst: str
+    nbytes: int
+    streams: int = 1
+    key: Any = None
+
+
+class TransferGroup:
+    """A set of member transfers scheduled concurrently.
+
+    The group charges the **makespan** — the completion timestamp of the
+    slowest member — to the global clock, instead of the serial sum.
+    Scheduling uses the same bookkeeping as :meth:`Network.
+    schedule_transfer`: members start no earlier than their endpoints'
+    ``busy_until`` floors, and completed members push those floors
+    forward.  *Within* the group, members sharing one ``(src, dst)``
+    path serialize on it (one path cannot carry two payloads at once —
+    that is what the per-stream/capacity model already prices), while
+    members on distinct paths overlap freely: a server opening k streams
+    to k different storage hosts is exactly SRB parallel I/O.
+
+    Failure marshalling is per member: an unreachable endpoint charges
+    its timeout RTT (overlapped with its siblings, like a real select
+    loop waiting out the slowest socket) and surfaces as
+    ``TransferOutcome.error`` without aborting the rest.
+
+    Observability: the whole run is wrapped in a ``net.parallel.group``
+    span whose duration is the makespan, each member emits its usual
+    ``net.transfer`` child span, and ``net.parallel.*`` metrics record
+    group/member/failure counts, the makespan and the virtual seconds
+    saved versus serial execution.
+    """
+
+    def __init__(self, network: Network, label: str = "parallel"):
+        self.network = network
+        self.label = label
+        self._members: List[_Member] = []
+        self._ran = False
+
+    def add(self, src: str, dst: str, nbytes: int = 0, streams: int = 1,
+            key: Any = None) -> None:
+        """Add one member transfer (validates size, not reachability)."""
+        if nbytes < 0:
+            raise NetworkError(f"negative transfer size {nbytes}")
+        self._members.append(_Member(src, dst, nbytes, streams, key))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def run(self) -> List[TransferOutcome]:
+        """Schedule every member, advance the clock by the makespan.
+
+        Returns outcomes in ``add()`` order.  A group may run once.
+        """
+        if self._ran:
+            raise NetworkError("TransferGroup already ran")
+        self._ran = True
+        net = self.network
+        if not self._members:
+            return []
+        t0 = net.clock.now
+        outcomes: List[TransferOutcome] = []
+        path_busy: Dict[Tuple[str, str], float] = {}
+        host_done: Dict[str, float] = {}
+        with net.obs.tracer.span("net.parallel.group", label=self.label,
+                                 members=len(self._members)) as gsp:
+            for m in self._members:
+                spec = net.link(m.src, m.dst)
+                path = (m.src, m.dst)
+                start = max(t0,
+                            net.host(m.src).busy_until,
+                            net.host(m.dst).busy_until,
+                            path_busy.get(path, 0.0))
+                try:
+                    net.check_reachable(m.src, m.dst)
+                except HostUnreachable as exc:
+                    # the timeout overlaps with the siblings' work: it
+                    # extends the makespan, it does not precede them
+                    done = start + 2 * spec.latency_s
+                    with net.obs.tracer.span(
+                            "net.transfer", src=m.src, dst=m.dst,
+                            bytes=m.nbytes, grouped=True) as sp:
+                        if sp is not None:
+                            sp.error = str(exc)
+                    net._count_failure(m.src, m.dst)
+                    outcomes.append(TransferOutcome(
+                        m.src, m.dst, m.nbytes, start, done,
+                        2 * spec.latency_s, key=m.key, error=exc))
+                    continue
+                cost = spec.cost(m.nbytes, streams=m.streams)
+                done = start + cost
+                path_busy[path] = done
+                for endpoint in (m.src, m.dst):
+                    host_done[endpoint] = max(host_done.get(endpoint, 0.0),
+                                              done)
+                with net.obs.tracer.span("net.transfer", src=m.src,
+                                         dst=m.dst, bytes=m.nbytes,
+                                         streams=m.streams, grouped=True,
+                                         start=start, done=done):
+                    pass
+                net._count_success(m.src, m.dst, m.nbytes, cost)
+                outcomes.append(TransferOutcome(
+                    m.src, m.dst, m.nbytes, start, done, cost, key=m.key))
+            makespan_end = max(o.done for o in outcomes)
+            makespan = makespan_end - t0
+            if makespan > 0:
+                net.clock.advance(makespan)
+            for name, done in host_done.items():
+                host = net.host(name)
+                host.busy_until = max(host.busy_until, done)
+            if gsp is not None:
+                gsp.incr("members", len(outcomes))
+                gsp.incr("failures",
+                         sum(1 for o in outcomes if not o.ok))
+                gsp.incr("bytes", sum(o.nbytes for o in outcomes if o.ok))
+        serial_s = sum(o.cost for o in outcomes)
+        metrics = net.obs.metrics
+        metrics.inc("net.parallel.groups", label=self.label)
+        metrics.inc("net.parallel.members", len(outcomes), label=self.label)
+        failed = sum(1 for o in outcomes if not o.ok)
+        if failed:
+            metrics.inc("net.parallel.failures", failed, label=self.label)
+        metrics.observe("net.parallel.makespan_s", makespan,
+                        label=self.label)
+        metrics.observe("net.parallel.saved_s", max(0.0, serial_s - makespan),
+                        label=self.label)
+        return outcomes

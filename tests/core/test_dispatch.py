@@ -85,7 +85,7 @@ class TestRegistryInvariants:
         srv = fed.server("srb1")
         params = list(inspect.signature(srv.get).parameters)
         assert params == ["ticket", "path", "replica_num", "args",
-                         "sql_remainder"]
+                         "sql_remainder", "stripes"]
         # the login handshake never took a ticket
         assert "ticket" not in inspect.signature(srv.auth_challenge).parameters
 

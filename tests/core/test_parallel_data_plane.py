@@ -1,0 +1,229 @@
+"""The overlapped data plane (Federation(parallel_fanout=True)).
+
+Logical-resource ingest fan-out, parallel replica refresh, bulk-get
+overlap and striped reads all ride on
+:class:`repro.net.simnet.TransferGroup`; these tests check both the
+correctness (same bytes, same catalog state as the serial plane) and the
+cost shape (makespan, not sum).  The rollback tests cover the satellite
+bugfix: cleanup of half-written logical-resource members is charged on
+the wire.
+"""
+
+import pytest
+
+from repro.core import Federation, SrbClient
+from repro.errors import ResourceUnavailable
+
+PAYLOAD = bytes(range(256)) * 4096          # 1 MiB
+
+
+def build_fed(n_hosts=3, **knobs):
+    fed = Federation(zone="z", **knobs)
+    for i in range(1, n_hosts + 1):
+        fed.add_host(f"h{i}")
+    fed.add_server("s1", "h1", mcat=True)
+    for i in range(1, n_hosts + 1):
+        fed.add_fs_resource(f"r{i}", f"h{i}")
+    fed.add_logical_resource("all", [f"r{i}"
+                                     for i in range(1, n_hosts + 1)])
+    fed.default_resource = "r1"
+    fed.bootstrap_admin()
+    client = SrbClient(fed, "h1", "s1", "srbadmin@sdsc", "hunter2")
+    client.login()
+    client.mkcoll("/z/w")
+    return fed, client
+
+
+def timed(fed, fn):
+    t0 = fed.clock.now
+    result = fn()
+    return result, fed.clock.now - t0
+
+
+class TestIngestFanout:
+    def test_same_catalog_and_bytes_as_serial(self):
+        par_fed, par_client = build_fed(parallel_fanout=True)
+        ser_fed, ser_client = build_fed(parallel_fanout=False)
+        for client in (par_client, ser_client):
+            client.ingest("/z/w/f.dat", PAYLOAD, resource="all")
+        for fed, client in ((par_fed, par_client), (ser_fed, ser_client)):
+            obj = fed.mcat.get_object("/z/w/f.dat")
+            assert len(fed.mcat.replicas(int(obj["oid"]))) == 3
+            assert client.get("/z/w/f.dat") == PAYLOAD
+
+    def test_fanout_charges_makespan_not_sum(self):
+        par_fed, par_client = build_fed(parallel_fanout=True)
+        ser_fed, ser_client = build_fed(parallel_fanout=False)
+        _, par_t = timed(par_fed, lambda: par_client.ingest(
+            "/z/w/f.dat", PAYLOAD, resource="all"))
+        _, ser_t = timed(ser_fed, lambda: ser_client.ingest(
+            "/z/w/f.dat", PAYLOAD, resource="all"))
+        # two remote members overlap: roughly one member push saved
+        wire_one = par_fed.network.link("h1", "h2").cost(len(PAYLOAD))
+        assert ser_t - par_t == pytest.approx(wire_one, rel=0.05)
+        assert par_fed.obs.metrics.get("net.parallel.groups",
+                                       label="ingest-fanout") == 1
+
+    def test_down_member_fails_whole_ingest_cleanly(self):
+        fed, client = build_fed(parallel_fanout=True)
+        fed.network.set_down("h3")
+        with pytest.raises(ResourceUnavailable):
+            client.ingest("/z/w/f.dat", PAYLOAD, resource="all")
+        assert fed.mcat.find_object("/z/w/f.dat") is None
+
+
+class TestRollbackCharged:
+    def test_rollback_charges_one_delete_message_per_remote_member(self):
+        fed, _client = build_fed()
+        srv = fed.server("s1")
+        r1 = fed.resources.physical("r1")        # local to s1
+        r2 = fed.resources.physical("r2")        # remote
+        r3 = fed.resources.physical("r3")        # remote
+        for res in (r1, r2, r3):
+            res.driver.create("/half", b"partial")
+        before = fed.network.messages_sent
+        srv.data._rollback_created([(r1, "/half"), (r2, "/half"),
+                                    (r3, "/half")])
+        assert fed.network.messages_sent == before + 2   # r2, r3 only
+        for res in (r1, r2, r3):
+            assert not res.driver.exists("/half")
+
+    def test_failed_serial_ingest_charges_remote_cleanup(self):
+        """End to end: member 3 down -> members 1 and 2 are rolled back,
+        and member 2's remote delete appears in net.messages."""
+        fed, client = build_fed(parallel_fanout=False)
+        fed.network.set_down("h3")
+        m = fed.obs.metrics
+        before = m.get("net.messages", src="h1", dst="h2")
+        with pytest.raises(ResourceUnavailable):
+            client.ingest("/z/w/f.dat", PAYLOAD, resource="all")
+        after = m.get("net.messages", src="h1", dst="h2")
+        # session open + push + rollback delete = 3 messages to h2
+        assert after - before == 3
+        for name in ("r1", "r2"):
+            driver = fed.resources.physical(name).driver
+            assert not any("f.dat" in p for p in driver.list_dir("/"))
+
+    def test_unreachable_member_skipped_during_rollback(self):
+        fed, _client = build_fed()
+        srv = fed.server("s1")
+        r2 = fed.resources.physical("r2")
+        r2.driver.create("/half", b"partial")
+        fed.network.set_down("h2")
+        before = fed.network.failed_attempts
+        srv.data._rollback_created([(r2, "/half")])
+        assert fed.network.failed_attempts == before + 1
+        assert r2.driver.exists("/half")     # orphan, documented
+
+
+class TestParallelSynchronize:
+    def _make_dirty(self, client):
+        client.ingest("/z/w/f.dat", PAYLOAD, resource="all")
+        client.put("/z/w/f.dat", PAYLOAD[::-1])
+
+    def test_refresh_correct_and_overlapped(self):
+        par_fed, par_client = build_fed(parallel_fanout=True)
+        ser_fed, ser_client = build_fed(parallel_fanout=False)
+        self._make_dirty(par_client)
+        self._make_dirty(ser_client)
+        (par_n, par_t) = timed(par_fed,
+                               lambda: par_client.synchronize("/z/w/f.dat"))
+        (ser_n, ser_t) = timed(ser_fed,
+                               lambda: ser_client.synchronize("/z/w/f.dat"))
+        assert par_n == ser_n == 2
+        assert par_t < ser_t
+        for fed in (par_fed, ser_fed):
+            obj = fed.mcat.get_object("/z/w/f.dat")
+            assert all(not r["is_dirty"]
+                       for r in fed.mcat.replicas(int(obj["oid"])))
+        assert par_fed.obs.metrics.get("net.parallel.groups",
+                                       label="synchronize") == 1
+
+    def test_single_dirty_member_stays_serial(self):
+        fed, client = build_fed(n_hosts=2, parallel_fanout=True)
+        fed.add_logical_resource("pair", ["r1", "r2"])
+        client.ingest("/z/w/g.dat", PAYLOAD, resource="pair")
+        client.put("/z/w/g.dat", PAYLOAD[::-1])
+        assert client.synchronize("/z/w/g.dat") == 1
+        assert fed.obs.metrics.get("net.parallel.groups",
+                                   label="synchronize") == 0
+
+
+class TestBulkGetOverlap:
+    def _setup(self, **knobs):
+        fed, client = build_fed(**knobs)
+        client.ingest("/z/w/a.dat", PAYLOAD, resource="r2")
+        client.ingest("/z/w/b.dat", PAYLOAD, resource="r3")
+        return fed, client
+
+    def test_results_identical_to_serial(self):
+        par_fed, par_client = self._setup(parallel_fanout=True)
+        ser_fed, ser_client = self._setup(parallel_fanout=False)
+        par = par_client.bulk_get(["/z/w/a.dat", "/z/w/b.dat"])
+        ser = ser_client.bulk_get(["/z/w/a.dat", "/z/w/b.dat"])
+        assert par == ser
+        assert all(r["data"] == PAYLOAD for r in par)
+
+    def test_distinct_hosts_overlap(self):
+        par_fed, par_client = self._setup(parallel_fanout=True)
+        ser_fed, ser_client = self._setup(parallel_fanout=False)
+        _, par_t = timed(par_fed, lambda: par_client.bulk_get(
+            ["/z/w/a.dat", "/z/w/b.dat"]))
+        _, ser_t = timed(ser_fed, lambda: ser_client.bulk_get(
+            ["/z/w/a.dat", "/z/w/b.dat"]))
+        assert par_t < ser_t
+        assert par_fed.obs.metrics.get("net.parallel.groups",
+                                       label="bulk-get") == 1
+
+    def test_down_host_yields_per_item_error(self):
+        fed, client = self._setup(parallel_fanout=True)
+        fed.network.set_down("h3")
+        results = client.bulk_get(["/z/w/a.dat", "/z/w/b.dat"])
+        assert results[0]["data"] == PAYLOAD
+        assert "error" in results[1]
+        assert results[1]["error_type"] in ("HostUnreachable",
+                                            "ReplicaUnavailable")
+
+
+class TestStripedGet:
+    def _setup(self, **knobs):
+        fed, client = build_fed(**knobs)
+        client.ingest("/z/w/big.dat", PAYLOAD, resource="r2")
+        client.replicate("/z/w/big.dat", "r3")
+        return fed, client
+
+    def test_striped_read_returns_same_bytes(self):
+        fed, client = self._setup()
+        assert client.get("/z/w/big.dat", stripes=2) == PAYLOAD
+        assert fed.obs.metrics.get("srb.striped_reads", stripes="2") == 1
+
+    def test_striped_read_is_faster(self):
+        fed_a, client_a = self._setup()
+        fed_b, client_b = self._setup()
+        _, plain_t = timed(fed_a, lambda: client_a.get("/z/w/big.dat"))
+        _, striped_t = timed(fed_b, lambda: client_b.get("/z/w/big.dat",
+                                                         stripes=2))
+        assert striped_t < plain_t
+
+    def test_more_stripes_than_replicas_clamps(self):
+        fed, client = self._setup()
+        assert client.get("/z/w/big.dat", stripes=8) == PAYLOAD
+        assert fed.obs.metrics.get("srb.striped_reads", stripes="2") == 1
+
+    def test_single_replica_falls_back_to_chain_walk(self):
+        fed, client = build_fed()
+        client.ingest("/z/w/one.dat", PAYLOAD, resource="r2")
+        assert client.get("/z/w/one.dat", stripes=4) == PAYLOAD
+        assert fed.obs.metrics.total("srb.striped_reads") == 0
+
+    def test_partitioned_replica_falls_back(self):
+        fed, client = self._setup()
+        fed.network.partition("h1", "h3")
+        assert client.get("/z/w/big.dat", stripes=2) == PAYLOAD
+        assert fed.obs.metrics.total("srb.striped_reads") == 0
+
+    def test_replica_num_pins_and_disables_striping(self):
+        fed, client = self._setup()
+        assert client.get("/z/w/big.dat", replica_num=1,
+                          stripes=2) == PAYLOAD
+        assert fed.obs.metrics.total("srb.striped_reads") == 0

@@ -1,0 +1,168 @@
+"""Server<->resource session cache (Federation(session_cache=True)).
+
+The cache must amortize the per-operation open probe (and, without SSO,
+the challenge-response) while keeping the failure semantics the paper's
+experiments measure: any topology change invalidates every cached
+session, so E2's failover still pays its charged timeout and E7's
+handshake ablation is measured on cold sessions.
+"""
+
+import pytest
+
+from repro.core import Federation, SrbClient
+from repro.errors import HostUnreachable
+
+
+def build_fed(**knobs):
+    fed = Federation(zone="z", **knobs)
+    fed.add_host("h1")
+    fed.add_host("h2")
+    fed.add_server("s1", "h1", mcat=True)
+    fed.add_fs_resource("r1", "h1")
+    fed.add_fs_resource("r2", "h2")
+    fed.default_resource = "r2"
+    fed.bootstrap_admin()
+    client = SrbClient(fed, "h1", "s1", "srbadmin@sdsc", "hunter2")
+    client.login()
+    client.mkcoll("/z/w")
+    return fed, client
+
+
+class TestHitMiss:
+    def test_repeat_get_hits_cache(self):
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        m = fed.obs.metrics
+        client.get("/z/w/f.dat")
+        assert m.get("srb.session_cache", result="miss",
+                     server="s1", resource="r2") >= 1
+        hits_before = m.get("srb.session_cache", result="hit",
+                            server="s1", resource="r2")
+        client.get("/z/w/f.dat")
+        assert m.get("srb.session_cache", result="hit",
+                     server="s1", resource="r2") == hits_before + 1
+
+    def test_cached_session_skips_probe_messages(self):
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        warm = fed.network.messages_sent
+        client.get("/z/w/f.dat")
+        warm_msgs = fed.network.messages_sent - warm
+
+        cold_fed, cold_client = build_fed(session_cache=False)
+        cold_client.ingest("/z/w/f.dat", b"payload")
+        cold_client.get("/z/w/f.dat")
+        before = cold_fed.network.messages_sent
+        cold_client.get("/z/w/f.dat")
+        cold_msgs = cold_fed.network.messages_sent - before
+        # the warm get saves exactly the open probe
+        assert warm_msgs == cold_msgs - 1
+
+    def test_cache_off_never_records_metrics(self):
+        fed, client = build_fed(session_cache=False)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        client.get("/z/w/f.dat")
+        assert fed.obs.metrics.total("srb.session_cache") == 0
+
+    def test_stats_surface_cache_hits(self):
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        client.get("/z/w/f.dat")
+        stats = fed.stats()
+        assert stats["session_cache"] is True
+        assert stats["session_cache_hits"] >= 1
+
+
+class TestInvalidation:
+    def test_set_down_invalidates_through_real_get(self):
+        """E2 semantics survive the cache: after the storage host dies,
+        the next get must re-probe and pay the charged timeout."""
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.replicate("/z/w/f.dat", "r1")
+        client.get("/z/w/f.dat")            # session to r2 now cached
+        fed.network.set_down("h2")
+        failed_before = fed.network.failed_attempts
+        data = client.get("/z/w/f.dat")     # fails over to r1
+        assert data == b"payload"
+        assert fed.network.failed_attempts > failed_before
+
+    def test_heal_requires_fresh_session(self):
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        m = fed.obs.metrics
+        misses = m.get("srb.session_cache", result="miss",
+                       server="s1", resource="r2")
+        fed.network.partition("h1", "h2")
+        fed.network.heal("h1", "h2")
+        client.get("/z/w/f.dat")
+        assert m.get("srb.session_cache", result="miss",
+                     server="s1", resource="r2") == misses + 1
+
+    def test_reset_sessions_flushes(self):
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        assert fed.reset_sessions() >= 1
+        assert fed.reset_sessions() == 0
+        m = fed.obs.metrics
+        misses = m.get("srb.session_cache", result="miss",
+                       server="s1", resource="r2")
+        client.get("/z/w/f.dat")
+        assert m.get("srb.session_cache", result="miss",
+                     server="s1", resource="r2") == misses + 1
+
+    def test_unreachable_probe_drops_cached_entry(self):
+        fed, client = build_fed(session_cache=True)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        srv = fed.server("s1")
+        assert "r2" in srv._session_cache
+        fed.network.set_down("h2")
+        with pytest.raises(HostUnreachable):
+            # direct plane touch: the failed probe must evict
+            srv.data._resource_session(fed.resources.physical("r2"))
+        assert "r2" not in srv._session_cache
+
+
+class TestSsoInteraction:
+    def test_sso_off_cold_sessions_pay_handshake_every_time(self):
+        """E7's ablation measures cold sessions: without the cache each
+        touch of the resource re-runs the challenge-response."""
+        fed, client = build_fed(session_cache=False, sso_enabled=False)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        before = fed.network.messages_sent
+        client.get("/z/w/f.dat")
+        handshake_msgs = fed.network.messages_sent - before
+
+        sso_fed, sso_client = build_fed(session_cache=False,
+                                        sso_enabled=True)
+        sso_client.ingest("/z/w/f.dat", b"payload")
+        sso_client.get("/z/w/f.dat")
+        before = sso_fed.network.messages_sent
+        sso_client.get("/z/w/f.dat")
+        sso_msgs = sso_fed.network.messages_sent - before
+        assert handshake_msgs == sso_msgs + 4
+
+    def test_cache_amortizes_the_handshake_too(self):
+        fed, client = build_fed(session_cache=True, sso_enabled=False)
+        client.ingest("/z/w/f.dat", b"payload")
+        client.get("/z/w/f.dat")
+        before = fed.network.messages_sent
+        client.get("/z/w/f.dat")
+        with_cache = fed.network.messages_sent - before
+
+        cold_fed, cold_client = build_fed(session_cache=False,
+                                          sso_enabled=False)
+        cold_client.ingest("/z/w/f.dat", b"payload")
+        cold_client.get("/z/w/f.dat")
+        before = cold_fed.network.messages_sent
+        cold_client.get("/z/w/f.dat")
+        without = cold_fed.network.messages_sent - before
+        # saved: 4 handshake messages + 1 open probe
+        assert with_cache == without - 5

@@ -220,3 +220,129 @@ class TestParallelStreams:
         from repro.net.simnet import LinkSpec
         lfn = LinkSpec(latency_s=0.05, bandwidth_bps=1e6, per_stream_bps=1e5)
         assert lfn.cost(0, streams=1) == lfn.cost(0, streams=9) == 0.05
+
+
+class TestScheduleTransferAccounting:
+    """Regression: the queued success path must be as observable as the
+    blocking one — same ``net.transfer`` span, same ``net.transfer_s``
+    observation (it used to emit neither)."""
+
+    def test_success_emits_span(self, net):
+        with net.obs.tracer.trace("test") as root:
+            net.schedule_transfer("a", "b", 1000)
+        spans = root.find("net.transfer")
+        assert len(spans) == 1
+        assert spans[0].attrs.get("queued") is True
+        assert spans[0].attrs["done"] > spans[0].attrs["start"]
+
+    def test_success_observes_latency_histogram(self, net):
+        net.schedule_transfer("a", "b", 1000)
+        hist = net.obs.metrics.histogram("net.transfer_s", src="a", dst="b")
+        assert hist is not None and hist.count == 1
+        assert hist.sum == pytest.approx(WAN.cost(1000))
+
+    def test_span_does_not_advance_clock(self, net):
+        t0 = net.clock.now
+        net.schedule_transfer("a", "b", 1000)
+        assert net.clock.now == t0
+
+
+class TestTransferGroup:
+    @pytest.fixture
+    def fan_net(self):
+        n = Network()
+        n.add_host("src")
+        for i in range(4):
+            n.add_host(f"dst{i}")
+        return n
+
+    def test_empty_group_is_free(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        t0 = fan_net.clock.now
+        assert TransferGroup(fan_net).run() == []
+        assert fan_net.clock.now == t0
+
+    def test_fanout_charges_makespan_not_sum(self, fan_net):
+        one = WAN.cost(1_000_000)
+        t0 = fan_net.clock.now
+        outcomes = fan_net.parallel_transfers(
+            [("src", f"dst{i}", 1_000_000) for i in range(4)])
+        assert all(o.ok for o in outcomes)
+        elapsed = fan_net.clock.now - t0
+        assert elapsed == pytest.approx(one)          # max, not 4x
+        assert fan_net.bytes_sent == 4_000_000
+        assert fan_net.messages_sent == 4
+
+    def test_same_path_members_serialize(self, fan_net):
+        one = WAN.cost(1_000_000)
+        t0 = fan_net.clock.now
+        fan_net.parallel_transfers(
+            [("src", "dst0", 1_000_000), ("src", "dst0", 1_000_000)])
+        assert fan_net.clock.now - t0 == pytest.approx(2 * one)
+
+    def test_failed_member_does_not_poison_siblings(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        fan_net.set_down("dst1")
+        group = TransferGroup(fan_net, label="t")
+        for i in range(3):
+            group.add("src", f"dst{i}", 1_000_000, key=i)
+        outcomes = group.run()
+        assert [o.ok for o in outcomes] == [True, False, True]
+        assert isinstance(outcomes[1].error, HostUnreachable)
+        assert outcomes[1].done - outcomes[1].start == \
+            pytest.approx(2 * WAN.latency_s)
+        assert fan_net.failed_attempts == 1
+        assert fan_net.bytes_sent == 2_000_000
+
+    def test_group_respects_prior_busy_until(self, fan_net):
+        fan_net.host("src").busy_until = 5.0
+        outcomes = fan_net.parallel_transfers([("src", "dst0", 0)])
+        assert outcomes[0].start == pytest.approx(5.0)
+
+    def test_group_updates_busy_until(self, fan_net):
+        outcomes = fan_net.parallel_transfers(
+            [("src", "dst0", 1_000_000), ("src", "dst1", 2_000_000)])
+        assert fan_net.host("src").busy_until == \
+            pytest.approx(max(o.done for o in outcomes))
+        assert fan_net.host("dst0").busy_until == \
+            pytest.approx(outcomes[0].done)
+
+    def test_group_emits_span_and_metrics(self, fan_net):
+        with fan_net.obs.tracer.trace("test") as root:
+            fan_net.parallel_transfers(
+                [("src", "dst0", 1000), ("src", "dst1", 1000)],
+                label="unit")
+        gspans = root.find("net.parallel.group")
+        assert len(gspans) == 1
+        assert gspans[0].counters["members"] == 2
+        assert len(gspans[0].find("net.transfer")) == 2
+        m = fan_net.obs.metrics
+        assert m.get("net.parallel.groups", label="unit") == 1
+        assert m.get("net.parallel.members", label="unit") == 2
+        hist = m.histogram("net.parallel.makespan_s", label="unit")
+        assert hist is not None and hist.count == 1
+        saved = m.histogram("net.parallel.saved_s", label="unit")
+        assert saved.sum == pytest.approx(WAN.cost(1000))  # 2 cost - 1 max
+
+    def test_group_runs_once(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        group = TransferGroup(fan_net)
+        group.add("src", "dst0", 10)
+        group.run()
+        with pytest.raises(NetworkError):
+            group.run()
+
+    def test_negative_size_rejected_at_add(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        with pytest.raises(NetworkError):
+            TransferGroup(fan_net).add("src", "dst0", -1)
+
+
+class TestTopologyEpoch:
+    def test_mutations_bump_epoch(self, net):
+        e0 = net.topology_epoch
+        net.set_down("b")
+        net.set_up("b")
+        net.partition("a", "b")
+        net.heal("a", "b")
+        assert net.topology_epoch == e0 + 4

@@ -1,0 +1,99 @@
+"""Property-based tests for :class:`repro.net.simnet.TransferGroup`.
+
+Random member sets against the makespan invariants the overlapped data
+plane (experiment E14) relies on:
+
+* the clock advances by exactly the latest member completion;
+* a group is never faster than its largest single member;
+* a group is never slower than serial execution of the same members;
+* a downed member charges its timeout without poisoning siblings.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.simnet import Network, TransferGroup, WAN
+
+N_DSTS = 4
+
+members = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=N_DSTS - 1),   # dst index
+              st.integers(min_value=0, max_value=2_000_000),    # nbytes
+              st.integers(min_value=1, max_value=8)),           # streams
+    min_size=1, max_size=10)
+
+
+def build_net() -> Network:
+    net = Network()
+    net.add_host("src")
+    for i in range(N_DSTS):
+        net.add_host(f"dst{i}")
+    return net
+
+
+def run_group(net: Network, ms, down=()):
+    for name in down:
+        net.set_down(name)
+    group = TransferGroup(net, label="prop")
+    for dst, nbytes, streams in ms:
+        group.add("src", f"dst{dst}", nbytes, streams=streams)
+    return group.run()
+
+
+class TestMakespanInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(members)
+    def test_clock_advance_equals_max_completion(self, ms):
+        net = build_net()
+        t0 = net.clock.now
+        outcomes = run_group(net, ms)
+        assert net.clock.now - t0 == \
+            pytest.approx(max(o.done for o in outcomes) - t0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(members)
+    def test_never_below_largest_single_member(self, ms):
+        net = build_net()
+        t0 = net.clock.now
+        run_group(net, ms)
+        largest = max(WAN.cost(nbytes, streams=streams)
+                      for _dst, nbytes, streams in ms)
+        assert net.clock.now - t0 >= largest - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(members)
+    def test_never_slower_than_serial(self, ms):
+        net = build_net()
+        t0 = net.clock.now
+        run_group(net, ms)
+        serial = sum(WAN.cost(nbytes, streams=streams)
+                     for _dst, nbytes, streams in ms)
+        assert net.clock.now - t0 <= serial + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(members)
+    def test_accounting_matches_membership(self, ms):
+        net = build_net()
+        outcomes = run_group(net, ms)
+        assert len(outcomes) == len(ms)
+        assert net.messages_sent == len(ms)
+        assert net.bytes_sent == sum(nbytes for _d, nbytes, _s in ms)
+        assert net.failed_attempts == 0
+
+
+class TestDownedMember:
+    @settings(max_examples=60, deadline=None)
+    @given(members, st.integers(min_value=0, max_value=N_DSTS - 1))
+    def test_downed_member_charges_timeout_without_poisoning(self, ms, dead):
+        net = build_net()
+        outcomes = run_group(net, ms, down=[f"dst{dead}"])
+        for (dst, _nbytes, _streams), outcome in zip(ms, outcomes):
+            if dst == dead:
+                assert not outcome.ok
+                assert outcome.done - outcome.start == \
+                    pytest.approx(2 * WAN.latency_s)
+            else:
+                assert outcome.ok
+        dead_count = sum(1 for dst, _n, _s in ms if dst == dead)
+        assert net.failed_attempts == dead_count
+        assert net.bytes_sent == sum(n for d, n, _s in ms if d != dead)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Aggregate per-experiment headline numbers into one summary artifact.
+
+The benchmark suite writes ``benchmarks/output/BENCH_<exp>.json`` files
+(via ``helpers.record_json``) with each experiment's headline numbers —
+the speedups and ratios its shape assertions gate on.  This tool merges
+them into ``benchmarks/output/BENCH_summary.json`` so CI can upload one
+artifact that answers "what did the perf experiments measure on this
+commit" without digging through logs.
+
+Usage: python tools/bench_summary.py [--check]
+
+``--check`` additionally exits non-zero when an expected experiment
+(E12, E13, E14) has no headline file — i.e. the benchmarks job did not
+actually run the perf experiments it is supposed to guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks", "output")
+EXPECTED = ("e12", "e13", "e14")
+
+
+def main(argv) -> int:
+    check = "--check" in argv
+    summary = {}
+    missing = []
+    for name in sorted(os.listdir(OUTPUT_DIR)) \
+            if os.path.isdir(OUTPUT_DIR) else []:
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if name == "BENCH_summary.json":
+            continue
+        exp = name[len("BENCH_"):-len(".json")]
+        with open(os.path.join(OUTPUT_DIR, name)) as fh:
+            summary[exp] = json.load(fh)
+    for exp in EXPECTED:
+        if exp not in summary:
+            missing.append(exp)
+
+    out = os.path.join(OUTPUT_DIR, "BENCH_summary.json")
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"wrote {out} ({len(summary)} experiments)")
+    for exp, headline in sorted(summary.items()):
+        for key, value in sorted(headline.items()):
+            print(f"  {exp}.{key} = {value}")
+    if missing:
+        print(f"missing headline files for: {', '.join(missing)}")
+        if check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
