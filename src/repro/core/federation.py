@@ -56,7 +56,9 @@ class Federation:
                  network: Optional[Network] = None,
                  data_streams: int = 1,
                  parallel_fanout: bool = False,
-                 session_cache: bool = False):
+                 session_cache: bool = False,
+                 workers: Optional[int] = None,
+                 queue_depth: Optional[int] = None):
         self.zone = zone
         # zones being federated cross-zone share one network (and so one
         # clock); standalone zones build their own
@@ -106,6 +108,18 @@ class Federation:
         #   SSO, the challenge-response) on every touch.
         self.parallel_fanout = bool(parallel_fanout)
         self.session_cache = bool(session_cache)
+        # open-loop load plane (E15).  workers=None (default) keeps the
+        # historical contention-free server: requests never queue and
+        # are never shed, so every serial-mode recording is untouched.
+        #   workers: each server host gets a ServiceStation with this
+        #   many concurrent request slots — RPCs arriving while all are
+        #   busy pay queue wait on the virtual clock;
+        #   queue_depth: bound on that queue — an arrival finding it
+        #   full is shed fast with ServerBusy + a retry-after hint
+        #   (None = unbounded queue, nothing is ever shed).
+        self.workers = workers if workers is None else max(1, int(workers))
+        self.queue_depth = queue_depth if queue_depth is None \
+            else max(0, int(queue_depth))
         # admin-installed proxy executables, per server "bin directory"
         self.proxy_bin: Dict[str, Dict[str, Callable[[str], bytes]]] = {}
         # compiled-in proxy functions (server, args) -> bytes
@@ -130,6 +144,13 @@ class Federation:
         self.servers[name] = server
         self.proxy_bin.setdefault(name, {})
         self.rpc.register(host, f"srb:{name}", server)
+        # servers on one host share its worker pool (one machine, one
+        # server process model); installed lazily so only server hosts
+        # get stations
+        if self.workers is not None \
+                and self.network.station(host) is None:
+            self.network.install_station(host, self.workers,
+                                         self.queue_depth)
         return server
 
     def server(self, name: str) -> SrbServer:
@@ -309,6 +330,10 @@ class Federation:
             "acl_denials": self.access.denials,
             "parallel_fanout": self.parallel_fanout,
             "session_cache": self.session_cache,
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "requests_admitted": int(metrics.total("srb.admission.admitted")),
+            "requests_shed": int(metrics.total("srb.admission.shed")),
             "parallel_groups": int(metrics.total("net.parallel.groups")),
             "session_cache_hits": int(sum(
                 v for k, v in metrics.series("srb.session_cache").items()

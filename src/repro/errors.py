@@ -204,6 +204,25 @@ class NoSuchServer(NetworkError):
     """Federation has no server with the requested name."""
 
 
+class ServerBusy(SrbError):
+    """Admission control shed the request: the server's worker pool is
+    saturated and its request queue is full.
+
+    Carries a ``retry_after`` hint (virtual seconds until a worker is
+    expected to free up) so callers can back off instead of hammering a
+    saturated server — the fast-fail half of the open-loop load plane.
+    Deliberately *not* a :class:`NetworkError`: the network delivered
+    the request fine; the server refused to queue it.
+    """
+
+    def __init__(self, host: str, retry_after: float):
+        self.host = host
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"server on host {host!r} is at capacity; "
+            f"retry after {self.retry_after:.4f}s")
+
+
 # --------------------------------------------------------------------------
 # misc
 # --------------------------------------------------------------------------

@@ -12,14 +12,30 @@ Exceptions deriving from :class:`~repro.errors.SrbError` cross the wire
 transparently (the remote failure surfaces at the caller, as a real RPC
 stack would marshal them); anything else is wrapped in ``RpcError`` since
 a production system would not leak arbitrary remote tracebacks.
+
+**Load plane.**  When the destination host carries a
+:class:`~repro.net.simnet.ServiceStation` (``Federation(workers=...)``),
+every call and batch contends for that host's worker pool: a request
+arriving while all workers are busy queues (the wait is charged to the
+caller and recorded as ``srb.queue.*`` metrics plus a queue-wait span),
+and with a bounded queue a request arriving at a full queue is shed
+fast with :class:`~repro.errors.ServerBusy` carrying a retry-after
+hint (``srb.admission.*`` metrics).  The :meth:`ServiceRegistry.
+open_loop` context manager lets a workload generator stamp a call with
+a logical *arrival* time independent of the global clock — requests
+then overlap in station bookkeeping instead of serializing on the
+clock, which is what makes open-loop (arrivals independent of
+completions) saturation curves representable (experiment E15).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, \
+    Sequence, Tuple
 
-from repro.errors import HostUnreachable, RpcError, SrbError
+from repro.errors import HostUnreachable, RpcError, ServerBusy, SrbError
 from repro.net.simnet import Network
 from repro.net.wire import message_size
 
@@ -40,6 +56,35 @@ class RpcStats:
             "response_bytes": self.response_bytes,
             "failures": self.failures,
         }
+
+
+@dataclass
+class RequestTiming:
+    """Per-request timing of the most recent call through the registry.
+
+    The open-loop workload generator reads this after each issued
+    request: with a virtual clock that only moves forward, a request's
+    *latency under contention* cannot be read off the clock delta alone
+    — the queue wait of overlapping requests is station bookkeeping,
+    not clock time.  ``latency`` is the client-perceived seconds from
+    ``arrival`` (request issued) to the response (or error/busy reply)
+    arriving back; for a shed request it is the fast-fail round trip.
+    """
+
+    arrival: float                       #: virtual time the client issued
+    wait: float                          #: queue wait at the server
+    latency: float                       #: arrival -> response at client
+    shed: bool = False                   #: admission control refused it
+    retry_after: Optional[float] = None  #: hint carried by ServerBusy
+    error: Optional[str] = None          #: error type name, if it failed
+
+    @property
+    def ok(self) -> bool:
+        return not self.shed and self.error is None
+
+    @property
+    def done(self) -> float:
+        return self.arrival + self.latency
 
 
 @dataclass
@@ -93,6 +138,77 @@ class ServiceRegistry:
         self.network = network
         self._services: Dict[tuple, Any] = {}
         self.stats = RpcStats()
+        # open-loop arrival stamp for the *next* top-level call (consumed
+        # by it; nested calls it makes run closed-loop as usual)
+        self._open_arrival: Optional[float] = None
+        #: timing of the most recent completed/shed call (RequestTiming)
+        self.last_timing: Optional[RequestTiming] = None
+
+    # -- open-loop load ------------------------------------------------------
+
+    @contextmanager
+    def open_loop(self, arrival: float) -> Iterator[None]:
+        """Stamp the next call in this block with a logical arrival time.
+
+        An open-loop workload generator issues requests at *scheduled*
+        times, independent of when earlier requests complete.  Inside
+        this context the next top-level :meth:`call`/:meth:`call_batch`
+        treats ``arrival`` (plus its request-leg cost) as the moment the
+        request reaches the server's queue, and its queue wait is
+        accounted in station bookkeeping instead of advancing the global
+        clock — overlapping requests contend, they do not serialize.
+        Read :attr:`last_timing` afterwards for the request's latency.
+        """
+        prev = self._open_arrival
+        self._open_arrival = float(arrival)
+        try:
+            yield
+        finally:
+            self._open_arrival = prev
+
+    def _finish(self, arrival: float, wait: float, latency: float,
+                shed: bool = False, retry_after: Optional[float] = None,
+                error: Optional[str] = None) -> None:
+        self.last_timing = RequestTiming(
+            arrival=arrival, wait=wait, latency=latency, shed=shed,
+            retry_after=retry_after, error=error)
+
+    def _admit(self, dst: str, service: str, method: str, arrival: float,
+               advance_clock: bool):
+        """Contend for ``dst``'s worker pool (no-op without a station).
+
+        Returns ``(station, admission)``; raises
+        :class:`~repro.errors.ServerBusy` (after counting the shed in
+        ``srb.admission.*``) when the bounded queue is full.  An admitted
+        request records its queue wait and depth in ``srb.queue.*`` and,
+        when it actually waited, emits a queue-wait span — under a
+        closed loop the caller genuinely waits, so the clock advances.
+        """
+        station = self.network.host(dst).station
+        if station is None:
+            return None, None
+        obs = self.network.obs
+        try:
+            admission = station.admit(arrival)
+        except ServerBusy as exc:
+            obs.metrics.inc("srb.admission.shed", host=dst, service=service,
+                            method=method)
+            obs.metrics.observe("srb.admission.retry_after_s",
+                                exc.retry_after, host=dst)
+            raise
+        obs.metrics.inc("srb.admission.admitted", host=dst, service=service,
+                        method=method)
+        obs.metrics.observe("srb.queue.wait_s", admission.wait,
+                            host=dst, service=service)
+        obs.metrics.observe("srb.queue.depth", admission.depth, host=dst)
+        if admission.wait > 0:
+            with obs.tracer.span("srb.queue.wait", host=dst,
+                                 service=service, method=method,
+                                 wait_s=admission.wait,
+                                 depth=admission.depth):
+                if advance_clock:
+                    self.network.clock.advance(admission.wait)
+        return station, admission
 
     # -- registration --------------------------------------------------------
 
@@ -114,6 +230,31 @@ class ServiceRegistry:
 
     # -- invocation ------------------------------------------------------------
 
+    def _error_reply(self, src: str, dst: str, service: str, method: str,
+                     t0: float, extra: float, err_name: str,
+                     err_bytes: int) -> float:
+        """Charge + account the small error reply of a failed call.
+
+        Failed calls must not be invisible in the latency histograms:
+        the error reply's bytes and the call's latency are emitted on
+        the same ``rpc.response_bytes``/``rpc.call_s`` metrics as a
+        success, with an ``error=`` label (they used to update only the
+        plain counters, so error latencies vanished from E15's curves).
+        Returns the call's latency including ``extra`` un-clocked wait.
+        """
+        obs = self.network.obs
+        self.stats.failures += 1
+        obs.metrics.inc("rpc.failures", service=service, method=method,
+                        error=err_name)
+        self.network.transfer(dst, src, err_bytes)
+        self.stats.response_bytes += err_bytes
+        obs.metrics.inc("rpc.response_bytes", err_bytes, service=service,
+                        method=method, error=err_name)
+        latency = self.network.clock.now - t0 + extra
+        obs.metrics.observe("rpc.call_s", latency, service=service,
+                            method=method, error=err_name)
+        return latency
+
     def call(self, src: str, dst: str, service: str, method: str,
              /, **kwargs: Any) -> Any:
         """Invoke ``method`` of ``service`` on host ``dst`` from host ``src``.
@@ -121,15 +262,22 @@ class ServiceRegistry:
         Charges request and response transfers on the shared clock.  The
         response size is measured from the actual return value, so calls
         returning file contents cost bandwidth proportional to the data.
+        When the destination host has a worker-pool station the call
+        additionally pays (or is shed by) that host's queue.
         """
         handler = self.lookup(dst, service)
         fn = _resolve_method(handler, service, method)
 
         obs = self.network.obs
+        clock = self.network.clock
         req_bytes = message_size({"method": method, "kwargs": kwargs})
+        open_arrival = self._open_arrival
+        self._open_arrival = None       # nested calls run closed-loop
+        self.last_timing = None
         with obs.tracer.span("rpc.call", src=src, dst=dst, service=service,
                              method=method) as sp:
-            t0 = self.network.clock.now
+            t0 = clock.now
+            issued = open_arrival if open_arrival is not None else t0
             # the attempt counts even if the request never arrives: an
             # unreachable-host RPC must be visible in the stats
             self.stats.calls += 1
@@ -145,38 +293,89 @@ class ServiceRegistry:
                 self.stats.failures += 1
                 obs.metrics.inc("rpc.failures", service=service,
                                 method=method, error="unreachable")
+                obs.metrics.observe("rpc.call_s", clock.now - t0,
+                                    service=service, method=method,
+                                    error="unreachable")
+                self._finish(issued, 0.0, clock.now - t0,
+                             error="unreachable")
                 raise
 
+            # worker-pool admission on the destination host
+            arrival = issued + (clock.now - t0)
             try:
-                result = fn(**kwargs)
+                station, admission = self._admit(
+                    dst, service, method, arrival,
+                    advance_clock=open_arrival is None)
+            except ServerBusy as exc:
+                # fast-fail: the server answers with a tiny busy reply
+                # carrying the retry-after hint instead of queueing
+                busy_bytes = message_size(
+                    {"error": True, "retry_after": exc.retry_after})
+                if sp is not None:
+                    sp.error = str(exc)
+                latency = self._error_reply(src, dst, service, method,
+                                            t0, 0.0, "ServerBusy",
+                                            busy_bytes)
+                self._finish(issued, 0.0, latency, shed=True,
+                             retry_after=exc.retry_after,
+                             error="ServerBusy")
+                raise
+            wait = admission.wait if admission is not None else 0.0
+            # under an open loop the wait overlapped other requests'
+            # work: it is part of this request's latency, not clock time
+            extra = wait if open_arrival is not None else 0.0
+
+            t_svc = clock.now
+            try:
+                try:
+                    result = fn(**kwargs)
+                finally:
+                    # the worker was occupied for the service time
+                    # whether the handler succeeded or raised
+                    if admission is not None:
+                        station.complete(
+                            admission, admission.start + (clock.now - t_svc))
             except SrbError as exc:
-                # error response: small fixed-size message back to the caller
-                self.stats.failures += 1
-                obs.metrics.inc("rpc.failures", service=service,
-                                method=method, error=type(exc).__name__)
-                err_bytes = message_size({"error": True})
-                self.network.transfer(dst, src, err_bytes)
-                self.stats.response_bytes += err_bytes
+                # error response: small fixed-size message to the caller
+                err_name = type(exc).__name__
+                latency = self._error_reply(src, dst, service, method, t0,
+                                            extra, err_name,
+                                            message_size({"error": True}))
+                self._finish(issued, wait, latency, error=err_name)
                 raise
             except Exception as exc:  # non-SRB bug: wrap, don't leak
-                self.stats.failures += 1
-                obs.metrics.inc("rpc.failures", service=service,
-                                method=method, error=type(exc).__name__)
-                err_bytes = message_size({"error": True})
-                self.network.transfer(dst, src, err_bytes)
-                self.stats.response_bytes += err_bytes
+                err_name = type(exc).__name__
+                latency = self._error_reply(src, dst, service, method, t0,
+                                            extra, err_name,
+                                            message_size({"error": True}))
+                self._finish(issued, wait, latency, error=err_name)
                 raise RpcError(
                     f"remote {service}.{method} failed: {exc!r}") from exc
 
             resp_bytes = message_size(result)
-            self.network.transfer(dst, src, resp_bytes)
+            try:
+                self.network.transfer(dst, src, resp_bytes)
+            except HostUnreachable:
+                # the handler ran but its response never made it back
+                # (partition opened mid-call): that is a failed call and
+                # must be counted, not escape silently
+                self.stats.failures += 1
+                obs.metrics.inc("rpc.failures", service=service,
+                                method=method, error="unreachable")
+                obs.metrics.observe("rpc.call_s", clock.now - t0 + extra,
+                                    service=service, method=method,
+                                    error="unreachable")
+                self._finish(issued, wait, clock.now - t0 + extra,
+                             error="unreachable")
+                raise
             self.stats.response_bytes += resp_bytes
             obs.metrics.inc("rpc.response_bytes", resp_bytes,
                             service=service, method=method)
-            obs.metrics.observe("rpc.call_s", self.network.clock.now - t0,
+            obs.metrics.observe("rpc.call_s", clock.now - t0 + extra,
                                 service=service, method=method)
             if sp is not None:
                 sp.incr("response_bytes", resp_bytes)
+            self._finish(issued, wait, clock.now - t0 + extra)
         return result
 
     def call_batch(self, src: str, dst: str, service: str,
@@ -192,17 +391,24 @@ class ServiceRegistry:
 
         Errors are marshalled per item: an :class:`SrbError` raised by
         item k is captured in its :class:`BatchItemResult` and the other
-        items still execute and return.  Only a transport failure on the
-        request leg (destination unreachable) fails the whole batch,
-        after charging the usual timeout.
+        items still execute and return.  Only whole-message failures
+        fail the whole batch: a transport failure on either leg
+        (destination unreachable — after charging the usual timeout) or
+        the destination's admission control shedding the batch with
+        :class:`~repro.errors.ServerBusy`.
         """
         handler = self.lookup(dst, service)
         obs = self.network.obs
+        clock = self.network.clock
         req_bytes = message_size(
             {"batch": [{"method": m, "kwargs": kw} for m, kw in items]})
+        open_arrival = self._open_arrival
+        self._open_arrival = None       # nested calls run closed-loop
+        self.last_timing = None
         with obs.tracer.span("rpc.call_batch", src=src, dst=dst,
                              service=service, items=len(items)) as sp:
-            t0 = self.network.clock.now
+            t0 = clock.now
+            issued = open_arrival if open_arrival is not None else t0
             # one pipelined request/response pair = one call in the stats
             self.stats.calls += 1
             self.stats.request_bytes += req_bytes
@@ -219,8 +425,36 @@ class ServiceRegistry:
                 self.stats.failures += 1
                 obs.metrics.inc("rpc.failures", service=service,
                                 method="<batch>", error="unreachable")
+                obs.metrics.observe("rpc.call_s", clock.now - t0,
+                                    service=service, method="<batch>",
+                                    error="unreachable")
+                self._finish(issued, 0.0, clock.now - t0,
+                             error="unreachable")
                 raise
 
+            # the whole batch occupies one worker: admission is per
+            # message pair, exactly like the byte/latency amortization
+            arrival = issued + (clock.now - t0)
+            try:
+                station, admission = self._admit(
+                    dst, service, "<batch>", arrival,
+                    advance_clock=open_arrival is None)
+            except ServerBusy as exc:
+                busy_bytes = message_size(
+                    {"error": True, "retry_after": exc.retry_after})
+                if sp is not None:
+                    sp.error = str(exc)
+                latency = self._error_reply(src, dst, service, "<batch>",
+                                            t0, 0.0, "ServerBusy",
+                                            busy_bytes)
+                self._finish(issued, 0.0, latency, shed=True,
+                             retry_after=exc.retry_after,
+                             error="ServerBusy")
+                raise
+            wait = admission.wait if admission is not None else 0.0
+            extra = wait if open_arrival is not None else 0.0
+
+            t_svc = clock.now
             results: List[BatchItemResult] = []
             for method, kwargs in items:
                 try:
@@ -247,14 +481,32 @@ class ServiceRegistry:
                     obs.metrics.inc("rpc.failures", service=service,
                                     method=method, error=type(exc).__name__)
 
+            if admission is not None:
+                station.complete(admission,
+                                 admission.start + (clock.now - t_svc))
+
             resp_bytes = message_size(
                 [r.value if r.ok else {"error": True} for r in results])
-            self.network.transfer(dst, src, resp_bytes)
+            try:
+                self.network.transfer(dst, src, resp_bytes)
+            except HostUnreachable:
+                # response leg died mid-call (partition opened by an
+                # item): the batch failed and must be counted as such
+                self.stats.failures += 1
+                obs.metrics.inc("rpc.failures", service=service,
+                                method="<batch>", error="unreachable")
+                obs.metrics.observe("rpc.call_s", clock.now - t0 + extra,
+                                    service=service, method="<batch>",
+                                    error="unreachable")
+                self._finish(issued, wait, clock.now - t0 + extra,
+                             error="unreachable")
+                raise
             self.stats.response_bytes += resp_bytes
             obs.metrics.inc("rpc.response_bytes", resp_bytes,
                             service=service, method="<batch>")
-            obs.metrics.observe("rpc.call_s", self.network.clock.now - t0,
+            obs.metrics.observe("rpc.call_s", clock.now - t0 + extra,
                                 service=service, method="<batch>")
             if sp is not None:
                 sp.incr("response_bytes", resp_bytes)
+            self._finish(issued, wait, clock.now - t0 + extra)
         return results

@@ -34,10 +34,11 @@ striped multi-replica reads all ride on it.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.errors import HostUnreachable, NetworkError
+from repro.errors import HostUnreachable, NetworkError, ServerBusy
 from repro.obs import Observability
 from repro.util.clock import SimClock
 
@@ -88,6 +89,103 @@ LOOPBACK = LinkSpec(latency_s=0.00005, bandwidth_bps=1e9)
 
 
 @dataclass
+class Admission:
+    """One admitted request's place in a :class:`ServiceStation`.
+
+    ``start`` is when a worker picks the request up, ``wait`` the queue
+    delay (``start - arrival``) and ``depth`` the queue length the
+    request saw on arrival.  ``held`` records whether a worker slot was
+    actually checked out (a re-entrant admission while every slot is in
+    flight is modelled contention-free and holds nothing).
+    """
+
+    start: float
+    wait: float
+    depth: int
+    held: bool = True
+
+
+class ServiceStation:
+    """A host's server process as a queueing station on the virtual clock.
+
+    The paper's "seamless access for many users at once" is a statement
+    about *contended* servers, but ``Host.busy_until`` only models wire
+    occupancy.  A station models the server process itself: ``workers``
+    concurrent request slots and a FIFO request queue, all bookkept in
+    virtual timestamps so logically-concurrent clients contend without
+    any real threads.
+
+    ``admit(arrival)`` assigns the request the earliest-free worker:
+    it starts at ``max(arrival, worker_free)`` and the difference is its
+    queue wait.  ``complete(admission, done)`` returns the worker at its
+    service-completion timestamp.  With ``queue_depth`` set, an arrival
+    that finds that many requests already waiting is shed with
+    :class:`~repro.errors.ServerBusy` carrying a retry-after hint —
+    bounded queues are what keep latency finite past the knee (E15).
+
+    Arrivals are expected to be non-decreasing (the virtual clock and
+    the open-loop generator both are); the queue-length bookkeeping
+    prunes lazily against the newest arrival.
+    """
+
+    def __init__(self, host: str, workers: int = 1,
+                 queue_depth: Optional[int] = None):
+        if workers < 1:
+            raise NetworkError(f"station needs at least 1 worker, "
+                               f"got {workers}")
+        if queue_depth is not None and queue_depth < 0:
+            raise NetworkError(f"negative queue depth {queue_depth}")
+        self.host = host
+        self.workers = int(workers)
+        self.queue_depth = queue_depth
+        # min-heap of worker free timestamps; length == free slots
+        self._free: List[float] = [0.0] * self.workers
+        # start timestamps of admitted-but-not-yet-started requests
+        self._waiting: List[float] = []
+        self.admitted = 0
+        self.shed = 0
+
+    def queue_length(self, at: float) -> int:
+        """Requests admitted but still waiting for a worker at ``at``."""
+        self._waiting = [s for s in self._waiting if s > at]
+        return len(self._waiting)
+
+    def admit(self, arrival: float) -> Admission:
+        """Admit (or shed) a request arriving at virtual ``arrival``."""
+        depth = self.queue_length(arrival)
+        if not self._free:
+            # re-entrant request while every slot is checked out (a
+            # handler calling back into its own host): no contention info
+            return Admission(start=arrival, wait=0.0, depth=depth,
+                             held=False)
+        # a request sheds only if it would have to *wait* behind a full
+        # queue; queue_depth=0 is a pure loss system (admit iff a worker
+        # is free at arrival), not "shed everything"
+        if self.queue_depth is not None and min(self._free) > arrival \
+                and depth >= self.queue_depth:
+            self.shed += 1
+            retry_after = min(self._free) - arrival
+            raise ServerBusy(self.host, retry_after)
+        start = max(arrival, heapq.heappop(self._free))
+        wait = start - arrival
+        if wait > 0:
+            self._waiting.append(start)
+        self.admitted += 1
+        return Admission(start=start, wait=wait, depth=depth)
+
+    def complete(self, admission: Admission, done: float) -> None:
+        """Return the admitted request's worker, busy until ``done``."""
+        if admission.held:
+            heapq.heappush(self._free, done)
+
+    def reset(self) -> None:
+        """Forget all queue/worker bookkeeping (host restart, or a
+        benchmark trial boundary)."""
+        self._free = [0.0] * self.workers
+        self._waiting.clear()
+
+
+@dataclass
 class Host:
     """A machine in the grid: runs SRB servers and/or storage systems."""
 
@@ -97,6 +195,10 @@ class Host:
     # Completion timestamp of the last queued transfer touching this host;
     # used only by schedule_transfer for concurrency modelling.
     busy_until: float = 0.0
+    # Worker-pool/queue model for the server process on this host; None
+    # means requests are served with unbounded concurrency (no
+    # contention), which is the historical default.
+    station: Optional[ServiceStation] = None
 
 
 class Network:
@@ -153,10 +255,35 @@ class Network:
             return LOOPBACK
         return self._links.get((src, dst), self.default_link)
 
+    # -- service stations ----------------------------------------------------
+
+    def install_station(self, name: str, workers: int,
+                        queue_depth: Optional[int] = None) -> ServiceStation:
+        """Give ``name``'s server process a worker pool and request queue.
+
+        Replaces any existing station (fresh bookkeeping).  Hosts without
+        a station keep the historical contention-free behaviour.
+        """
+        host = self.host(name)
+        host.station = ServiceStation(name, workers=workers,
+                                      queue_depth=queue_depth)
+        return host.station
+
+    def station(self, name: str) -> Optional[ServiceStation]:
+        return self.host(name).station
+
     # -- failure injection ---------------------------------------------------
 
     def set_down(self, name: str) -> None:
-        self.host(name).up = False
+        host = self.host(name)
+        host.up = False
+        # A crashed host forgets its queues: transfers it had pending can
+        # no longer complete, so leaving busy_until (or station
+        # bookkeeping) standing would charge a restarted host phantom
+        # queueing delay from work that never happened.
+        host.busy_until = 0.0
+        if host.station is not None:
+            host.station.reset()
         self.topology_epoch += 1
 
     def set_up(self, name: str) -> None:
@@ -304,9 +431,11 @@ class Network:
         return group.run()
 
     def reset_queues(self) -> None:
-        """Clear ``busy_until`` bookkeeping between benchmark trials."""
+        """Clear ``busy_until`` and station bookkeeping between trials."""
         for h in self._hosts.values():
             h.busy_until = 0.0
+            if h.station is not None:
+                h.station.reset()
 
 
 @dataclass
@@ -415,6 +544,14 @@ class TransferGroup:
                     # the timeout overlaps with the siblings' work: it
                     # extends the makespan, it does not precede them
                     done = start + 2 * spec.latency_s
+                    # ... but a real select loop holds the socket for the
+                    # whole timeout: the failed attempt occupies its path
+                    # and endpoints until it expires, so a later member
+                    # sharing them starts after it, not as if it were free
+                    path_busy[path] = max(path_busy.get(path, 0.0), done)
+                    for endpoint in (m.src, m.dst):
+                        host_done[endpoint] = max(
+                            host_done.get(endpoint, 0.0), done)
                     with net.obs.tracer.span(
                             "net.transfer", src=m.src, dst=m.dst,
                             bytes=m.nbytes, grouped=True) as sp:

@@ -8,8 +8,17 @@ from repro.workload.synth import (
     survey_files,
 )
 from repro.workload.grids import StandardGrid, populate, standard_grid
+from repro.workload.openloop import (
+    LoadReport,
+    RequestOutcome,
+    percentile,
+    poisson_arrivals,
+    run_open_loop,
+)
 
 __all__ = [
     "SynthFile", "survey_files", "embryo_files", "hyperspectral_files",
     "small_files", "StandardGrid", "standard_grid", "populate",
+    "LoadReport", "RequestOutcome", "percentile", "poisson_arrivals",
+    "run_open_loop",
 ]

@@ -214,3 +214,233 @@ class TestCallBatch:
     def test_empty_batch(self, setup):
         _, rpc = setup
         assert rpc.call_batch("client", "server", "svc", []) == []
+
+
+class NetAwareService:
+    """Service whose handlers can sabotage the network mid-call."""
+
+    def __init__(self, net):
+        self.net = net
+
+    def echo(self, text: str) -> str:
+        return text
+
+    def partition_reply(self) -> str:
+        # a partition opens while the handler runs: the response leg
+        # will never make it back to the caller
+        self.net.partition("client", "server")
+        return "you will never see this"
+
+
+class SlowService:
+    """Service with a genuine (clock-advancing) service time, so its
+    worker stays busy long enough for admission tests to contend."""
+
+    SERVICE_S = 0.5
+
+    def __init__(self, net):
+        self.net = net
+
+    def work(self) -> str:
+        self.net.clock.advance(self.SERVICE_S)
+        return "done"
+
+
+class TestErrorPathAccounting:
+    """Regression: error responses used to update only the plain
+    counters — ``rpc.response_bytes`` and ``rpc.call_s`` were never
+    emitted for a failed call, so error traffic and error latency were
+    invisible exactly where a saturation curve needs them."""
+
+    def test_srb_error_emits_labeled_metrics(self, setup):
+        net, rpc = setup
+        with pytest.raises(NoSuchObject):
+            rpc.call("client", "server", "svc", "fail_srb")
+        m = net.obs.metrics
+        assert m.get("rpc.response_bytes", service="svc",
+                     method="fail_srb", error="NoSuchObject") > 0
+        hist = m.histogram("rpc.call_s", service="svc",
+                           method="fail_srb", error="NoSuchObject")
+        assert hist is not None and hist.count == 1
+        assert hist.min >= 2 * net.default_link.latency_s
+        assert rpc.stats.response_bytes > 0
+
+    def test_wrapped_bug_emits_labeled_metrics(self, setup):
+        net, rpc = setup
+        with pytest.raises(RpcError):
+            rpc.call("client", "server", "svc", "fail_bug")
+        m = net.obs.metrics
+        assert m.get("rpc.response_bytes", service="svc",
+                     method="fail_bug", error="ValueError") > 0
+        assert m.histogram("rpc.call_s", service="svc",
+                           method="fail_bug", error="ValueError").count == 1
+
+    def test_success_metrics_unlabeled_and_separate(self, setup):
+        net, rpc = setup
+        rpc.call("client", "server", "svc", "echo", text="hi")
+        with pytest.raises(NoSuchObject):
+            rpc.call("client", "server", "svc", "fail_srb")
+        m = net.obs.metrics
+        # the success series carries no error label and is not polluted
+        assert m.get("rpc.response_bytes", service="svc",
+                     method="echo") > 0
+        assert m.histogram("rpc.call_s", service="svc",
+                           method="echo").count == 1
+
+    def test_response_leg_partition_counted(self, setup):
+        """Regression: the handler succeeding but the response transfer
+        dying (partition opened mid-call) used to escape without
+        touching ``failures`` — an uncounted failed call."""
+        net, rpc = setup
+        rpc.register("server", "evil", NetAwareService(net))
+        failures0 = rpc.stats.failures
+        from repro.errors import HostUnreachable
+        with pytest.raises(HostUnreachable):
+            rpc.call("client", "server", "evil", "partition_reply")
+        assert rpc.stats.failures == failures0 + 1
+        m = net.obs.metrics
+        assert m.get("rpc.failures", service="evil",
+                     method="partition_reply", error="unreachable") == 1
+        assert m.histogram("rpc.call_s", service="evil",
+                           method="partition_reply",
+                           error="unreachable").count == 1
+
+    def test_response_leg_partition_counted_in_batch(self, setup):
+        net, rpc = setup
+        rpc.register("server", "evil", NetAwareService(net))
+        from repro.errors import HostUnreachable
+        with pytest.raises(HostUnreachable):
+            rpc.call_batch("client", "server", "evil",
+                           [("echo", {"text": "a"}),
+                            ("partition_reply", {})])
+        assert rpc.stats.failures == 1
+        m = net.obs.metrics
+        assert m.get("rpc.failures", service="evil",
+                     method="<batch>", error="unreachable") == 1
+
+    def test_batch_item_error_visible_in_metrics(self, setup):
+        net, rpc = setup
+        rpc.call_batch("client", "server", "svc",
+                       [("fail_srb", {}), ("echo", {"text": "x"})])
+        m = net.obs.metrics
+        assert m.get("rpc.failures", service="svc", method="fail_srb",
+                     error="NoSuchObject") == 1
+        # the batch itself completed: its latency lands on the
+        # unlabeled series
+        assert m.histogram("rpc.call_s", service="svc",
+                           method="<batch>").count == 1
+
+
+class TestAdmission:
+    """Worker-pool admission threaded through call/call_batch."""
+
+    def test_no_station_no_admission_metrics(self, setup):
+        net, rpc = setup
+        rpc.call("client", "server", "svc", "echo", text="x")
+        assert net.obs.metrics.total("srb.admission.admitted") == 0
+
+    def test_closed_loop_wait_advances_clock(self, setup):
+        net, rpc = setup
+        st = net.install_station("server", workers=1)
+        st.complete(st.admit(net.clock.now), 5.0)  # worker busy until 5
+        t0 = net.clock.now
+        assert rpc.call("client", "server", "svc", "echo", text="x") == "x"
+        # the caller genuinely waited for the worker before the handler
+        assert net.clock.now >= 5.0 + net.default_link.latency_s
+        m = net.obs.metrics
+        assert m.get("srb.admission.admitted", host="server",
+                     service="svc", method="echo") == 1
+        wait = m.histogram("srb.queue.wait_s", host="server", service="svc")
+        assert wait.count == 1
+        # the wait is 5.0 minus the request leg (latency + a few bytes)
+        assert wait.max == pytest.approx(
+            5.0 - t0 - net.default_link.latency_s, rel=1e-3)
+
+    def test_open_loop_overlaps_instead_of_serializing(self, setup):
+        net, rpc = setup
+        rpc.register("server", "slow", SlowService(net))
+        net.install_station("server", workers=1)
+        t = net.clock.now
+        with rpc.open_loop(t):
+            rpc.call("client", "server", "slow", "work")
+        first = rpc.last_timing
+        clock_after_first = net.clock.now
+        with rpc.open_loop(t):
+            rpc.call("client", "server", "slow", "work")
+        second = rpc.last_timing
+        # same arrival, one worker: the second request queues behind the
+        # first's full service time -- in bookkeeping, not on the clock
+        assert first.wait == 0.0
+        assert second.wait == pytest.approx(SlowService.SERVICE_S)
+        assert second.latency == pytest.approx(
+            first.latency + second.wait)
+        assert net.clock.now - clock_after_first == pytest.approx(
+            clock_after_first - t)      # clock moved by legs+service only
+
+    def test_bounded_queue_sheds_through_call(self, setup):
+        net, rpc = setup
+        rpc.register("server", "slow", SlowService(net))
+        net.install_station("server", workers=1, queue_depth=0)
+        t = net.clock.now
+        with rpc.open_loop(t):
+            rpc.call("client", "server", "slow", "work")
+        from repro.errors import ServerBusy
+        t_before = net.clock.now
+        with pytest.raises(ServerBusy) as exc:
+            with rpc.open_loop(t):
+                rpc.call("client", "server", "slow", "work")
+        # the hint points at the busy worker freeing up
+        assert exc.value.retry_after == pytest.approx(
+            SlowService.SERVICE_S)
+        # fast-fail: one request leg + one tiny busy reply, no queueing
+        # and no service time
+        assert net.clock.now - t_before == pytest.approx(
+            2 * net.default_link.latency_s, rel=0.5)
+        timing = rpc.last_timing
+        assert timing.shed and not timing.ok
+        assert timing.retry_after == pytest.approx(exc.value.retry_after)
+        m = net.obs.metrics
+        assert m.get("srb.admission.shed", host="server", service="slow",
+                     method="work") == 1
+        assert m.get("rpc.failures", service="slow", method="work",
+                     error="ServerBusy") == 1
+        assert rpc.stats.failures == 1
+
+    def test_batch_occupies_one_worker(self, setup):
+        net, rpc = setup
+        net.install_station("server", workers=1)
+        t = net.clock.now
+        with rpc.open_loop(t):
+            rpc.call_batch("client", "server", "svc",
+                           [("echo", {"text": "x"})] * 10)
+        assert rpc.last_timing.wait == 0.0
+        m = net.obs.metrics
+        assert m.get("srb.admission.admitted", host="server",
+                     service="svc", method="<batch>") == 1
+
+    def test_batch_shed_fails_whole_batch(self, setup):
+        net, rpc = setup
+        rpc.register("server", "slow", SlowService(net))
+        net.install_station("server", workers=1, queue_depth=0)
+        t = net.clock.now
+        with rpc.open_loop(t):
+            rpc.call("client", "server", "slow", "work")
+        from repro.errors import ServerBusy
+        with pytest.raises(ServerBusy):
+            with rpc.open_loop(t):
+                rpc.call_batch("client", "server", "slow",
+                               [("work", {})] * 3)
+        assert rpc.last_timing.shed
+        assert net.obs.metrics.get("srb.admission.shed", host="server",
+                                   service="slow", method="<batch>") == 1
+
+    def test_queue_wait_span_emitted(self, setup):
+        net, rpc = setup
+        st = net.install_station("server", workers=1)
+        st.complete(st.admit(net.clock.now), 5.0)
+        with net.obs.tracer.trace("test") as root:
+            rpc.call("client", "server", "svc", "echo", text="x")
+        spans = root.find("srb.queue.wait")
+        assert len(spans) == 1
+        assert spans[0].attrs["host"] == "server"
+        assert spans[0].attrs["wait_s"] > 0

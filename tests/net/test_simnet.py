@@ -346,3 +346,84 @@ class TestTopologyEpoch:
         net.partition("a", "b")
         net.heal("a", "b")
         assert net.topology_epoch == e0 + 4
+
+
+class TestFailedMemberAccounting:
+    """Regression: a failed TransferGroup member never advanced
+    ``path_busy``/``host_done``, so its timeout occupied neither its
+    path nor its endpoints — later members (and later queued transfers)
+    started as if the dead attempt had been free."""
+
+    @pytest.fixture
+    def fan_net(self):
+        n = Network()
+        n.add_host("src")
+        for i in range(3):
+            n.add_host(f"dst{i}")
+        return n
+
+    def test_failed_members_serialize_on_their_path(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        fan_net.set_down("dst1")
+        timeout = 2 * WAN.latency_s
+        t0 = fan_net.clock.now
+        group = TransferGroup(fan_net)
+        group.add("src", "dst1", 1_000_000)
+        group.add("src", "dst1", 1_000_000)   # same dead path
+        outcomes = group.run()
+        # the second attempt holds until the first one's timeout expires
+        assert outcomes[1].start == pytest.approx(outcomes[0].done)
+        assert outcomes[1].done == pytest.approx(t0 + 2 * timeout)
+        assert fan_net.clock.now == pytest.approx(t0 + 2 * timeout)
+
+    def test_failed_member_occupies_endpoints(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        fan_net.set_down("dst1")
+        timeout = 2 * WAN.latency_s
+        t0 = fan_net.clock.now
+        group = TransferGroup(fan_net)
+        group.add("src", "dst1", 1_000_000)
+        group.run()
+        # the charged timeout shows up in both endpoints' busy floors
+        # (never *binding* for the dead host: the clock already passed
+        # it when the group charged its makespan)
+        assert fan_net.host("src").busy_until == pytest.approx(t0 + timeout)
+        assert fan_net.host("dst1").busy_until == pytest.approx(t0 + timeout)
+        assert fan_net.clock.now >= fan_net.host("dst1").busy_until
+
+    def test_mixed_group_makespan_covers_failed_tail(self, fan_net):
+        from repro.net.simnet import TransferGroup
+        fan_net.set_down("dst1")
+        timeout = 2 * WAN.latency_s
+        t0 = fan_net.clock.now
+        group = TransferGroup(fan_net)
+        group.add("src", "dst0", 100)          # quick success
+        group.add("src", "dst1", 100)          # timeout
+        group.add("src", "dst1", 100)          # serialized second timeout
+        group.run()
+        assert fan_net.clock.now == pytest.approx(t0 + 2 * timeout)
+        assert fan_net.failed_attempts == 2
+
+
+class TestSetDownClearsQueues:
+    """Regression: ``set_down`` left ``busy_until`` standing, so a
+    restarted host was charged phantom queueing delay from transfers
+    that died with the crash."""
+
+    def test_restarted_host_starts_fresh(self, net):
+        net.add_host("c")
+        done = net.schedule_transfer("a", "b", 5_000_000)
+        assert net.host("b").busy_until == pytest.approx(done)
+        net.set_down("b")
+        assert net.host("b").busy_until == 0.0
+        net.set_up("b")
+        # a queued transfer from an idle host sees no leftover backlog
+        d2 = net.schedule_transfer("c", "b", 0)
+        assert d2 == pytest.approx(net.clock.now + WAN.latency_s)
+
+    def test_up_host_keeps_its_queue(self, net):
+        """Only the *crashed* host forgets: its peer still has its own
+        side of the queued work."""
+        done = net.schedule_transfer("a", "b", 5_000_000)
+        net.set_down("b")
+        assert net.host("a").busy_until == pytest.approx(done)

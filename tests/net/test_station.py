@@ -1,0 +1,129 @@
+"""Unit tests for the per-host worker-pool station and admission."""
+
+import pytest
+
+from repro.errors import NetworkError, ServerBusy
+from repro.net.simnet import Network, ServiceStation
+
+
+class TestServiceStation:
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            ServiceStation("h", workers=0)
+        with pytest.raises(NetworkError):
+            ServiceStation("h", workers=1, queue_depth=-1)
+
+    def test_free_worker_no_wait(self):
+        st = ServiceStation("h", workers=2)
+        adm = st.admit(1.0)
+        assert adm.start == 1.0
+        assert adm.wait == 0.0
+        assert adm.depth == 0
+        assert adm.held
+
+    def test_busy_worker_queues_fifo(self):
+        st = ServiceStation("h", workers=1)
+        a1 = st.admit(0.0)
+        st.complete(a1, 5.0)
+        a2 = st.admit(1.0)
+        assert a2.start == 5.0
+        assert a2.wait == 4.0
+
+    def test_waits_stack_behind_each_other(self):
+        st = ServiceStation("h", workers=1)
+        st.complete(st.admit(0.0), 3.0)
+        a2 = st.admit(0.0)
+        st.complete(a2, a2.start + 3.0)     # served 3..6
+        a3 = st.admit(0.0)
+        assert a2.wait == 3.0
+        assert a3.start == 6.0 and a3.wait == 6.0
+
+    def test_parallel_workers_absorb_burst(self):
+        st = ServiceStation("h", workers=3)
+        adms = [st.admit(0.0) for _ in range(3)]
+        assert all(a.wait == 0.0 for a in adms)
+
+    def test_depth_counts_still_waiting_requests(self):
+        st = ServiceStation("h", workers=1)
+        st.complete(st.admit(0.0), 10.0)
+        st.complete(st.admit(0.0), 20.0)    # waits until 10
+        a3 = st.admit(0.0)                  # waits until 20
+        assert a3.depth == 1                # one request still queued
+        # by t=15 the 10-starter is in service; only the 20-starter waits
+        assert st.queue_length(15.0) == 1
+        assert st.queue_length(25.0) == 0
+
+    def test_bounded_queue_sheds_with_retry_hint(self):
+        st = ServiceStation("h", workers=1, queue_depth=1)
+        st.complete(st.admit(0.0), 10.0)
+        st.complete(st.admit(0.0), 20.0)    # occupies the one queue slot
+        with pytest.raises(ServerBusy) as exc:
+            st.admit(2.0)
+        assert exc.value.host == "h"
+        # the worker frees at 20 (after serving the queued request)
+        assert exc.value.retry_after == pytest.approx(18.0)
+        assert st.shed == 1
+        assert st.admitted == 2
+
+    def test_zero_depth_is_a_loss_system_not_shed_everything(self):
+        """queue_depth=0 admits a request a free worker can take
+        immediately and sheds only requests that would have to wait."""
+        st = ServiceStation("h", workers=1, queue_depth=0)
+        a1 = st.admit(0.0)
+        assert a1.wait == 0.0
+        st.complete(a1, 5.0)
+        with pytest.raises(ServerBusy):
+            st.admit(1.0)                   # worker busy until 5, no queue
+        assert st.admit(5.0).wait == 0.0    # free again: admitted
+
+    def test_reentrant_admission_is_contention_free(self):
+        st = ServiceStation("h", workers=1)
+        outer = st.admit(0.0)               # checks out the only worker
+        inner = st.admit(0.0)               # handler calling back in
+        assert inner.wait == 0.0
+        assert not inner.held
+        st.complete(inner, 1.0)             # held=False: no worker returned
+        st.complete(outer, 2.0)
+        assert st.admit(0.0).start == 2.0   # only the outer slot came back
+
+    def test_reset_forgets_bookkeeping(self):
+        st = ServiceStation("h", workers=1)
+        st.complete(st.admit(0.0), 50.0)
+        st.reset()
+        assert st.admit(0.0).wait == 0.0
+
+
+class TestNetworkStations:
+    @pytest.fixture
+    def net(self):
+        n = Network()
+        n.add_host("a")
+        n.add_host("b")
+        return n
+
+    def test_install_and_lookup(self, net):
+        assert net.station("b") is None
+        st = net.install_station("b", workers=2, queue_depth=4)
+        assert net.station("b") is st
+        assert st.workers == 2 and st.queue_depth == 4
+
+    def test_reinstall_replaces_bookkeeping(self, net):
+        st = net.install_station("b", workers=1)
+        st.complete(st.admit(0.0), 99.0)
+        st2 = net.install_station("b", workers=1)
+        assert st2.admit(0.0).wait == 0.0
+
+    def test_set_down_resets_station(self, net):
+        """Regression: a crashed server's in-flight work cannot complete,
+        so its restarted worker pool must not charge phantom waits."""
+        st = net.install_station("b", workers=1)
+        st.complete(st.admit(0.0), 99.0)
+        net.set_down("b")
+        net.set_up("b")
+        assert net.station("b").admit(0.0).wait == 0.0
+
+    def test_reset_queues_resets_stations(self, net):
+        st = net.install_station("b", workers=1)
+        st.complete(st.admit(0.0), 99.0)
+        net.reset_queues()
+        assert st.admit(0.0).wait == 0.0
