@@ -229,7 +229,9 @@ def _stage_zone(ctx: OpContext, nxt: Callable) -> Any:
 
 def _stage_hop(ctx: OpContext, nxt: Callable) -> Any:
     if ctx.spec.mcat_hop:
-        ctx.server._mcat_hop()
+        scope = ctx.kwargs.get(ctx.spec.scope_arg) \
+            if ctx.spec.scope_arg else None
+        ctx.server._mcat_hop(scope if isinstance(scope, str) else None)
     else:
         ctx.server.ops_served += 1
     return nxt(ctx)

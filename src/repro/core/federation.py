@@ -31,6 +31,7 @@ from repro.core.replication import ReplicaSelector
 from repro.core.server import SrbServer
 from repro.errors import NoSuchServer, SrbError
 from repro.mcat.catalog import Mcat
+from repro.mcat.shard import ShardedMcat
 from repro.mcat.extraction import ExtractionRegistry
 from repro.net.rpc import ServiceRegistry
 from repro.net.simnet import LinkSpec, Network, WAN
@@ -58,7 +59,10 @@ class Federation:
                  parallel_fanout: bool = False,
                  session_cache: bool = False,
                  workers: Optional[int] = None,
-                 queue_depth: Optional[int] = None):
+                 queue_depth: Optional[int] = None,
+                 mcat_shards: Optional[int] = None,
+                 mcat_replicas: Optional[int] = None,
+                 mcat_staleness: int = 0):
         self.zone = zone
         # zones being federated cross-zone share one network (and so one
         # clock); standalone zones build their own
@@ -75,8 +79,27 @@ class Federation:
         self.ids = IdFactory()
         self.rpc = ServiceRegistry(self.network)
         self.peers: Dict[str, "Federation"] = {}
-        self.mcat = Mcat(zone=zone, clock=self.clock, ids=self.ids,
-                         obs=self.obs)
+        # sharded MCAT (E16).  Both default off: with no knob set the
+        # federation gets the identical single Mcat it always had, so
+        # every serial-mode recording is untouched.
+        #   mcat_shards: partition the catalog by collection subtree
+        #   across K Mcat shards behind a ShardedMcat router;
+        #   mcat_replicas: R read replicas per shard, converged by an
+        #   async write log (+ anti-entropy repair after faults);
+        #   mcat_staleness: max write-log entries a replica may lag and
+        #   still serve a read (0 = read-your-writes).
+        self.mcat_shards = mcat_shards
+        self.mcat_replicas = mcat_replicas
+        self.mcat_staleness = int(mcat_staleness)
+        if mcat_shards is None and mcat_replicas is None:
+            self.mcat = Mcat(zone=zone, clock=self.clock, ids=self.ids,
+                             obs=self.obs)
+        else:
+            self.mcat = ShardedMcat(zone=zone, clock=self.clock,
+                                    ids=self.ids, obs=self.obs,
+                                    shards=mcat_shards or 1,
+                                    replicas=mcat_replicas or 0,
+                                    staleness=self.mcat_staleness)
         self.users = UserRegistry()
         self.authority = TicketAuthority(zone, zone_key=f"zone-key-{zone}",
                                          clock=self.clock)
@@ -324,8 +347,8 @@ class Federation:
             "failed_attempts": self.network.failed_attempts,
             "rpc_calls": self.rpc.stats.calls,
             "rpc_failures": self.rpc.stats.failures,
-            "catalog_objects": len(self.mcat.db.table("objects")),
-            "catalog_replicas": len(self.mcat.db.table("replicas")),
+            "catalog_objects": self.mcat.total_objects(),
+            "catalog_replicas": self.mcat.total_replicas(),
             "acl_checks": self.access.checks,
             "acl_denials": self.access.denials,
             "parallel_fanout": self.parallel_fanout,
@@ -338,4 +361,10 @@ class Federation:
             "session_cache_hits": int(sum(
                 v for k, v in metrics.series("srb.session_cache").items()
                 if "result=hit" in k)),
+            "mcat_shards": self.mcat_shards,
+            "mcat_replicas": self.mcat_replicas,
+            "mcat_replica_reads": int(
+                metrics.total("mcat.shard.replica_reads")),
+            "mcat_replication_pending": self.mcat.replication_lag()
+            if isinstance(self.mcat, ShardedMcat) else 0,
         }

@@ -49,7 +49,7 @@ class LockManager:
 
     def _live_locks(self, oid: int) -> List[Dict[str, Any]]:
         """Non-expired lock rows for ``oid``; expired rows are reaped."""
-        t = self.mcat.db.table("locks")
+        t = self.mcat.oid_table("locks", oid)
         live = []
         for rid in list(t.lookup_eq("oid", oid)):
             row = t.row_dict(rid)
@@ -60,7 +60,7 @@ class LockManager:
         return live
 
     def _live_pins(self, oid: int) -> List[Dict[str, Any]]:
-        t = self.mcat.db.table("pins")
+        t = self.mcat.oid_table("pins", oid)
         live = []
         for rid in list(t.lookup_eq("oid", oid)):
             row = t.row_dict(rid)
@@ -86,7 +86,7 @@ class LockManager:
                         f"object {oid} is locked ({row['lock_type']}) by "
                         f"{row['holder']}")
         lid = self.mcat.ids.next_int("lid")
-        self.mcat.db.table("locks").insert({
+        self.mcat.oid_table("locks", oid).insert({
             "lid": lid, "oid": oid, "lock_type": lock_type,
             "holder": str(holder),
             "expires_at": self.clock.now + lifetime_s,
@@ -95,7 +95,7 @@ class LockManager:
 
     def unlock(self, oid: int, holder: Principal) -> int:
         """Release all locks ``holder`` has on ``oid``; returns count."""
-        t = self.mcat.db.table("locks")
+        t = self.mcat.oid_table("locks", oid)
         released = 0
         for rid in list(t.lookup_eq("oid", oid)):
             if t.value(rid, "holder") == str(holder):
@@ -132,14 +132,14 @@ class LockManager:
     def pin(self, oid: int, resource: str, holder: Principal,
             lifetime_s: float = DEFAULT_PIN_LIFETIME_S) -> int:
         pid = self.mcat.ids.next_int("pid")
-        self.mcat.db.table("pins").insert({
+        self.mcat.oid_table("pins", oid).insert({
             "pid": pid, "oid": oid, "resource": resource,
             "holder": str(holder), "expires_at": self.clock.now + lifetime_s,
         })
         return pid
 
     def unpin(self, oid: int, resource: str, holder: Principal) -> int:
-        t = self.mcat.db.table("pins")
+        t = self.mcat.oid_table("pins", oid)
         released = 0
         for rid in list(t.lookup_eq("oid", oid)):
             row = t.row_dict(rid)
@@ -173,7 +173,7 @@ class LockManager:
         """
         obj = self.mcat.get_object_by_id(oid)
         version_num = int(obj["version"])
-        self.mcat.db.table("versions").insert({
+        self.mcat.oid_table("versions", oid).insert({
             "vid": self.mcat.ids.next_int("vid"), "oid": oid,
             "version_num": version_num, "resource": resource,
             "physical_path": physical_path, "size": size,
@@ -195,6 +195,6 @@ class LockManager:
         return new_version
 
     def versions_of(self, oid: int) -> List[Dict[str, Any]]:
-        t = self.mcat.db.table("versions")
+        t = self.mcat.oid_table("versions", oid)
         rows = [t.row_dict(r) for r in t.lookup_eq("oid", oid)]
         return sorted(rows, key=lambda r: r["version_num"])

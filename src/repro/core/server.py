@@ -49,7 +49,7 @@ from repro.core.planes import (
     content_checksum,
 )
 from repro.core.planes.base import _CONTROL_MSG
-from repro.errors import InvalidPath, UnsupportedOperation
+from repro.errors import InvalidPath, SrbError, UnsupportedOperation
 from repro.mcat.catalog import Mcat
 from repro.storage.resource import ResourceRegistry
 from repro.util import paths
@@ -184,13 +184,32 @@ class SrbServer:
     # plumbing the pipeline stages call
     # ------------------------------------------------------------------
 
-    def _mcat_hop(self) -> None:
+    def _mcat_hop(self, scope: Optional[str] = None) -> None:
         """Charge one catalog round trip when this server is not the
-        MCAT-enabled one (it batches its catalog work per operation)."""
+        MCAT-enabled one (it batches its catalog work per operation).
+
+        Against a sharded catalog the op's scope path resolves to its
+        owning shard — the hop is charged once, to that shard only, and
+        the route shows up on the span and the ``mcat.shard.route``
+        metric.
+        """
         self.ops_served += 1
+        shard: Optional[int] = None
+        route = getattr(self.mcat, "shard_of_path", None)
+        if route is not None and scope is not None:
+            try:
+                shard = route(scope)
+            except SrbError:
+                shard = None
+            if shard is not None:
+                self.obs.metrics.inc("mcat.shard.route", server=self.name,
+                                     shard=str(shard))
         if not self.is_mcat_server:
             mhost = self.federation.mcat_server.host
-            with self.obs.tracer.span("srb.mcat_hop", server=self.name):
+            attrs = {"server": self.name}
+            if shard is not None:
+                attrs["shard"] = shard
+            with self.obs.tracer.span("srb.mcat_hop", **attrs):
                 self.network.transfer(self.host, mhost, _CONTROL_MSG)
                 self.network.transfer(mhost, self.host, _CONTROL_MSG)
 

@@ -62,6 +62,7 @@ class Database:
         self.name = name
         self.clock = clock
         self._tables: Dict[str, Table] = {}
+        self._observer = None
         self.queries_executed = 0
 
     # -- DDL -----------------------------------------------------------------
@@ -73,8 +74,16 @@ class Database:
         if not name.isidentifier():
             raise DatabaseError(f"bad table name {name!r}")
         table = Table(name, columns, primary_key=primary_key)
+        table.observer = self._observer
         self._tables[name] = table
         return table
+
+    def watch(self, observer) -> None:
+        """Install ``observer(table, kind, rid, values)`` on every table,
+        current and future — the sharded MCAT's write-log tap."""
+        self._observer = observer
+        for table in self._tables.values():
+            table.observer = observer
 
     def drop_table(self, name: str) -> None:
         if name not in self._tables:

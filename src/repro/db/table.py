@@ -12,6 +12,13 @@ deletes; indexes map values to row ids.  This keeps point lookups O(1),
 range scans O(log n + k) via the sorted index, and full scans cheap to
 reason about — the E4 benchmark's index on/off ablation flips exactly one
 flag here.
+
+A table can carry one mutation *observer* — a callback invoked after
+every successful insert/update/delete with the row id and its values.
+This is the physical replication hook the sharded MCAT builds its write
+log on: because row ids are positional and tombstoned, replaying the
+observed mutations in order onto an empty table reproduces the source
+table byte for byte, row ids included.
 """
 
 from __future__ import annotations
@@ -87,6 +94,9 @@ class Table:
         self._sorted_indexes: Dict[str, SortedIndex] = {}
         # Scan accounting for the query-cost model (rows touched).
         self.rows_scanned = 0
+        # Mutation observer: callable(table_name, kind, rid, values) fired
+        # after each successful insert/update/delete.  See module docstring.
+        self.observer = None
         if primary_key is not None:
             if primary_key not in self._offset:
                 raise DatabaseError(f"primary key {primary_key!r} not a column")
@@ -168,10 +178,14 @@ class Table:
             idx.add(row[self._offset[cname]], rid)
         for cname, sidx in self._sorted_indexes.items():
             sidx.add(row[self._offset[cname]], rid)
+        if self.observer is not None:
+            self.observer(self.name, "insert", rid,
+                          {c.name: row[i] for i, c in enumerate(self.columns)})
         return rid
 
     def update_row(self, rid: int, changes: Dict[str, Any]) -> None:
         row = self._get_live(rid)
+        applied: Dict[str, Any] = {}
         for cname, value in changes.items():
             col = self._col(cname)
             off = self._offset[cname]
@@ -187,15 +201,21 @@ class Table:
             if cname in self._sorted_indexes:
                 self._sorted_indexes[cname].remove(old, rid)
                 self._sorted_indexes[cname].add(new, rid)
+            applied[cname] = new
+        if self.observer is not None:
+            self.observer(self.name, "update", rid, applied)
 
     def delete_row(self, rid: int) -> None:
         row = self._get_live(rid)
+        values = {c.name: row[i] for i, c in enumerate(self.columns)}
         for cname, idx in self._hash_indexes.items():
             idx.remove(row[self._offset[cname]], rid)
         for cname, sidx in self._sorted_indexes.items():
             sidx.remove(row[self._offset[cname]], rid)
         self._rows[rid] = None
         self._live -= 1
+        if self.observer is not None:
+            self.observer(self.name, "delete", rid, values)
 
     def _get_live(self, rid: int) -> list:
         if not (0 <= rid < len(self._rows)) or self._rows[rid] is None:
@@ -253,3 +273,53 @@ class Table:
 
     def all_rows(self) -> List[Dict[str, Any]]:
         return [self.row_dict(rid) for rid in self.scan()]
+
+    # -- replication support -----------------------------------------------
+
+    def apply_entry(self, kind: str, rid: int, values: Dict[str, Any]) -> None:
+        """Replay one observed mutation onto this table.
+
+        Valid only when this table is a faithful copy of the source at the
+        moment the mutation was observed; positional row ids then line up
+        exactly (an ``insert`` lands at the recorded rid).
+        """
+        if kind == "insert":
+            if rid != len(self._rows):
+                raise DatabaseError(
+                    f"replication divergence in {self.name!r}: "
+                    f"insert expected rid {len(self._rows)}, log says {rid}")
+            self.insert(values)
+        elif kind == "update":
+            self.update_row(rid, values)
+        elif kind == "delete":
+            self.delete_row(rid)
+        else:
+            raise DatabaseError(f"unknown mutation kind {kind!r}")
+
+    def snapshot_rows(self) -> List[Optional[list]]:
+        """Deep copy of the heap, tombstones included (rids preserved)."""
+        return [None if row is None else list(row) for row in self._rows]
+
+    def restore_rows(self, rows: List[Optional[list]]) -> None:
+        """Replace the heap with a snapshot and rebuild every index.
+
+        Scan accounting is deliberately untouched: a snapshot restore is
+        replication plumbing, not a catalog query.
+        """
+        self._rows = [None if row is None else list(row) for row in rows]
+        self._live = sum(1 for row in self._rows if row is not None)
+        for cname in list(self._hash_indexes):
+            unique = self._hash_indexes[cname].unique
+            idx = HashIndex(unique=unique)
+            off = self._offset[cname]
+            for rid, row in enumerate(self._rows):
+                if row is not None:
+                    idx.add(row[off], rid)
+            self._hash_indexes[cname] = idx
+        for cname in list(self._sorted_indexes):
+            sidx = SortedIndex()
+            off = self._offset[cname]
+            for rid, row in enumerate(self._rows):
+                if row is not None:
+                    sidx.add(row[off], rid)
+            self._sorted_indexes[cname] = sidx

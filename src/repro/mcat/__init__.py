@@ -18,9 +18,10 @@ from repro.mcat.query import (
     search,
 )
 from repro.mcat.schema import OBJECT_KINDS, PERMISSIONS
+from repro.mcat.shard import McatShard, ShardedMcat
 
 __all__ = [
-    "Mcat", "OBJECT_KINDS", "PERMISSIONS",
+    "Mcat", "McatShard", "ShardedMcat", "OBJECT_KINDS", "PERMISSIONS",
     "MetadataSchema", "SchemaElement", "SchemaRegistry",
     "dublin_core_schema", "DUBLIN_CORE_ELEMENTS",
     "ExtractionMethod", "ExtractionRegistry",

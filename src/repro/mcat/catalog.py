@@ -111,6 +111,11 @@ class Mcat:
         # collection is removed or a subtree rename rewrites paths.
         self._coll_rid_cache: Dict[str, int] = {}
         self.cid_cache_hits = 0
+        # Cumulative service time this catalog instance spent answering
+        # queries.  The clock serialises every charge onto one timeline;
+        # busy_s is the per-instance view the sharded-catalog benchmark
+        # needs to compute a parallel makespan across K catalog servers.
+        self.busy_s = 0.0
         # root and zone collection exist from the start
         self._insert_collection("/", None, owner="srb@localhost", now=0.0)
         self._insert_collection(f"/{zone}", "/", owner="srb@localhost", now=0.0)
@@ -129,13 +134,14 @@ class Mcat:
             yield
         finally:
             touched = self._rows_scanned() - before
+            cost = self.QUERY_OVERHEAD_S + touched * self.ROW_COST_S
+            self.busy_s += cost
             self.obs.metrics.inc("mcat.ops")
             if touched:
                 self.obs.metrics.inc("mcat.rows_scanned", touched)
                 self.obs.tracer.add("catalog_rows", touched)
             if self.clock is not None:
-                self.clock.advance(self.QUERY_OVERHEAD_S +
-                                   touched * self.ROW_COST_S)
+                self.clock.advance(cost)
 
     # ------------------------------------------------------------------
     # collections
@@ -193,15 +199,26 @@ class Mcat:
             return sorted(rows, key=lambda r: r["path"])
 
     def subtree_collections(self, prefix: str) -> List[Dict[str, Any]]:
-        """The collection at ``prefix`` and every descendant collection."""
+        """The collection at ``prefix`` and every descendant collection.
+
+        BFS over the ``parent`` index, so the charge is O(subtree) rows —
+        not a full-table scan per call (the hierarchy invariant says every
+        descendant's parent chain passes through ``prefix``).
+        """
         with self._charged():
             prefix = paths.normalize(prefix)
             t = self.db.table("collections")
-            out = []
-            for rid in t.scan():
-                row = t.row_dict(rid)
-                if row["path"] == prefix or paths.is_ancestor(prefix, row["path"]):
+            rids = self._collection_rid(prefix)
+            if not rids:
+                return []
+            out = [t.row_dict(rids[0])]
+            frontier = [prefix]
+            while frontier:
+                parent = frontier.pop()
+                for rid in t.lookup_eq("parent", parent):
+                    row = t.row_dict(rid)
                     out.append(row)
+                    frontier.append(row["path"])
             return sorted(out, key=lambda r: r["path"])
 
     def remove_collection(self, path: str) -> None:
@@ -352,6 +369,22 @@ class Mcat:
                 raise NoSuchObject(f"no object id {oid}")
             return self.db.table("objects").row_dict(rids[0])
 
+    def get_objects_by_ids(self, oids: Sequence[int]) -> List[Dict[str, Any]]:
+        """Object rows for N oids under one charged block.
+
+        The batch half of the query planner's id→row step: one query
+        overhead for the whole candidate list instead of one per id.
+        Unknown ids are skipped (index candidates can race a delete).
+        """
+        with self._charged():
+            t = self.db.table("objects")
+            out = []
+            for oid in oids:
+                rids = t.lookup_eq("oid", oid)
+                if rids:
+                    out.append(t.row_dict(rids[0]))
+            return out
+
     def update_object(self, oid: int, **changes: Any) -> None:
         with self._charged():
             rids = self.db.table("objects").lookup_eq("oid", oid)
@@ -422,6 +455,24 @@ class Mcat:
     def count_objects(self) -> int:
         with self._charged():
             return len(self.db.table("objects"))
+
+    def total_objects(self) -> int:
+        """Uncharged object count, for stats displays (no clock cost)."""
+        return len(self.db.table("objects"))
+
+    def total_replicas(self) -> int:
+        """Uncharged replica count, for stats displays (no clock cost)."""
+        return len(self.db.table("replicas"))
+
+    def oid_table(self, name: str, oid: int):
+        """The table holding rows keyed to object ``oid``.
+
+        On a plain catalog every table lives here, so ``oid`` is unused;
+        the sharded router overrides this to resolve the owning shard.
+        Lock/pin/version policy in :mod:`repro.core` reaches its rows
+        through this accessor so they land next to their object.
+        """
+        return self.db.table(name)
 
     # ------------------------------------------------------------------
     # replicas

@@ -36,16 +36,35 @@ _ID_PREFIXES = ("cid", "oid", "rid", "mid", "smid", "aid", "aclid", "auid",
 
 
 def export_catalog(mcat: Mcat) -> str:
-    """Serialize the catalog to a JSON string."""
+    """Serialize the catalog to a JSON string.
+
+    A sharded catalog exports as one merged document: rows from every
+    shard primary, with the per-shard copies of the root collections
+    deduplicated (shard 0's copy is canonical) — so a dump taken from a
+    sharded deployment imports into a plain catalog and vice versa.
+    """
     doc: Dict[str, Any] = {
         "format": DUMP_FORMAT_VERSION,
         "zone": mcat.zone,
         "id_counters": {p: mcat.ids.peek(p) for p in _ID_PREFIXES},
         "tables": {},
     }
+    shards = getattr(mcat, "shards", None)
+    if shards is None:
+        for name in _TABLES:
+            doc["tables"][name] = mcat.db.table(name).all_rows()
+        return json.dumps(doc, indent=1, sort_keys=True)
     for name in _TABLES:
-        table = mcat.db.table(name)
-        doc["tables"][name] = table.all_rows()
+        rows = []
+        seen_paths = set()
+        for shard in shards:
+            for row in shard.primary.db.table(name).all_rows():
+                if name == "collections":
+                    if row["path"] in seen_paths:
+                        continue
+                    seen_paths.add(row["path"])
+                rows.append(row)
+        doc["tables"][name] = rows
     return json.dumps(doc, indent=1, sort_keys=True)
 
 

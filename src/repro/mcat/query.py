@@ -108,6 +108,9 @@ def queryable_attributes(mcat: Mcat, scope: str,
     any object in ``scope`` or below, plus structural attributes defined
     for the scope's subtree."""
     scope = paths.normalize(scope)
+    router = getattr(mcat, "route_queryable_attributes", None)
+    if router is not None:
+        return router(scope, include_system=include_system)
     names: Set[str] = set()
     objs = {row["oid"] for row in mcat.objects_in_collection(scope, recursive=True)}
     colls = {row["cid"]: row["path"] for row in mcat.subtree_collections(scope)}
@@ -188,6 +191,14 @@ def search(mcat: Mcat, scope: str,
     if strategy not in ("auto", "scan", "index"):
         raise QueryError(f"unknown strategy {strategy!r}")
     scope = paths.normalize(scope)
+    # A sharded catalog routes the query to the owning shard (or fans it
+    # out) itself; each shard's catalog re-enters this function directly.
+    router = getattr(mcat, "route_search", None)
+    if router is not None:
+        return router(scope, conditions,
+                      include_annotations=include_annotations,
+                      include_system=include_system,
+                      limit=limit, strategy=strategy)
     rows_before = mcat._rows_scanned()
     real_conditions = [c for c in conditions if isinstance(c, Condition)]
     display_attrs: List[str] = []
@@ -205,21 +216,30 @@ def search(mcat: Mcat, scope: str,
     if strategy in ("auto", "index"):
         candidate_ids = _index_candidates(mcat, real_conditions)
     if candidate_ids is not None:
-        candidates = []
-        for oid in sorted(candidate_ids):
-            obj = mcat.get_object_by_id(int(oid))
-            if obj["coll"] == scope or paths.is_ancestor(scope, obj["coll"]):
-                candidates.append(obj)
+        # one charged block for the whole candidate list, not one per id
+        fetched = mcat.get_objects_by_ids(
+            [int(oid) for oid in sorted(candidate_ids)])
+        candidates = [obj for obj in fetched
+                      if obj["coll"] == scope
+                      or paths.is_ancestor(scope, obj["coll"])]
         candidates.sort(key=lambda o: o["path"])
+        # and one more for every candidate's metadata (the per-candidate
+        # get_metadata calls used to dominate the index plan's cost)
+        md_bulk = mcat.get_metadata_bulk(
+            [("object", o["oid"]) for o in candidates])
+        prefetched: Optional[Dict[int, Any]] = {
+            o["oid"]: rows for o, rows in zip(candidates, md_bulk)}
     else:
         candidates = mcat.objects_in_collection(scope, recursive=True)
+        prefetched = None
 
     matched: List[Dict[str, Any]] = []
     attr_cache: Dict[int, Dict[str, List[Tuple[Optional[str], Optional[float]]]]] = {}
     for obj in candidates:
         oid = obj["oid"]
-        values = _attribute_values(mcat, obj, include_annotations,
-                                   include_system)
+        values = _attribute_values(
+            mcat, obj, include_annotations, include_system,
+            md_rows=None if prefetched is None else prefetched[oid])
         attr_cache[oid] = values
         ok = True
         for cond in real_conditions:
@@ -252,10 +272,19 @@ def search(mcat: Mcat, scope: str,
 
 
 def _attribute_values(mcat: Mcat, obj: Dict[str, Any],
-                      include_annotations: bool, include_system: bool):
-    """attr -> [(value, value_num), ...] for one object."""
+                      include_annotations: bool, include_system: bool,
+                      md_rows: Optional[List[Dict[str, Any]]] = None):
+    """attr -> [(value, value_num), ...] for one object.
+
+    ``md_rows`` carries metadata prefetched in bulk (the index plan pays
+    one charged block for the whole candidate list); when absent the
+    rows are fetched here, one charged call per object (the scan plan
+    already enumerated the objects, so its cost profile is unchanged).
+    """
     out: Dict[str, List[Tuple[Optional[str], Optional[float]]]] = {}
-    for row in mcat.get_metadata("object", obj["oid"]):
+    if md_rows is None:
+        md_rows = mcat.get_metadata("object", obj["oid"])
+    for row in md_rows:
         out.setdefault(row["attr"], []).append((row["value"], row["value_num"]))
     if include_annotations:
         for ann in mcat.annotations_for("object", obj["oid"]):

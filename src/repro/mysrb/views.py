@@ -490,6 +490,20 @@ def status_page(client: SrbClient) -> str:
         for labels, h in metrics.histogram_series(name).items():
             hist_rows.append((name + labels, h.count,
                               f"{h.mean:.6f}", f"{h.max:.6f}"))
+    # per-shard catalog table when the MCAT is sharded (E16 deployments)
+    shard_stats = getattr(fed.mcat, "shard_stats", None)
+    shard_html = ""
+    if shard_stats is not None:
+        rows = [(s["shard"], s["objects"], s["collections"],
+                 f"{s['busy_s']:.6f}", s["replicas"],
+                 f"{s['replica_busy_s']:.6f}", s["pending"],
+                 s["partitioned"])
+                for s in shard_stats()]
+        shard_html = ("<h4>MCAT shards</h4>"
+                      + H.table(["shard", "objects", "collections",
+                                 "busy (s)", "replicas", "replica busy (s)",
+                                 "pending log", "partitioned"],
+                                rows))
     top = ("<h3>Grid status</h3>"
            "<p>Live counters from the federation-wide observability "
            "registry: network, RPC, server, storage and catalog "
@@ -497,6 +511,7 @@ def status_page(client: SrbClient) -> str:
     bottom = ("<h4>Federation</h4>"
               + H.table(["stat", "value"],
                         [(k, str(v)) for k, v in stat_rows])
+              + shard_html
               + "<h4>Server ops by plane</h4>"
               + (H.table(["server", "plane", "ops"], plane_rows)
                  if plane_rows else "<p><i>none</i></p>")

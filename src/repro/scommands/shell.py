@@ -420,6 +420,13 @@ class Shell:
             return rendered or "(no matching metrics)"
         summary = "\n".join(f"{k}: {v}"
                             for k, v in sorted(fed.stats().items()))
+        shard_stats = getattr(fed.mcat, "shard_stats", None)
+        if shard_stats is not None:
+            summary += "\n" + "\n".join(
+                f"mcat shard {s['shard']}: objects={s['objects']} "
+                f"busy_s={s['busy_s']:.6f} replicas={s['replicas']} "
+                f"pending={s['pending']} partitioned={s['partitioned']}"
+                for s in shard_stats())
         return summary + ("\n\n" + rendered if rendered else "")
 
     @_usage("Strace <Scommand ...>   (run a command, print its span tree)")

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Lint the plane services against the dispatch pipeline contract.
 
-Two rules keep the refactored server honest (see DESIGN.md, "SRB server
-architecture"):
+Three rules keep the refactored server honest (see DESIGN.md, "SRB
+server architecture"):
 
 1. **Every public plane-service method is a declared op.**  The RPC
    surface is exactly the ``@rpc_op``-decorated methods; a public method
@@ -17,6 +17,14 @@ architecture"):
    the declarative policy.  (The ``ctx.*`` helpers — ``ctx.audit``,
    ``ctx.require_local`` — are the sanctioned escape hatches and are not
    flagged.)
+
+3. **Catalog access goes through the ``self.mcat`` property.**  Reaching
+   the catalog as ``server.mcat`` or ``federation.mcat`` sidesteps the
+   one seam the sharded catalog (``Federation(mcat_shards=...)``) relies
+   on being narrow: handlers must not care whether the catalog behind
+   the property is one ``Mcat`` or a ``ShardedMcat`` router.  The sole
+   sanctioned chain is the ``mcat`` property definition itself in
+   ``planes/base.py``.
 
 Run from the repository root::
 
@@ -89,8 +97,36 @@ def check_no_inline_plumbing() -> List[str]:
     return errors
 
 
+def check_mcat_via_property() -> List[str]:
+    """Rule 3: no ``server.mcat``/``federation.mcat`` attribute chains."""
+    errors = []
+    for path in sorted(PLANES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        # the one sanctioned chain: the body of the mcat property itself
+        exempt_lines = set()
+        if path.name == "base.py":
+            for node in ast.walk(tree):
+                if isinstance(node, ast.FunctionDef) and node.name == "mcat":
+                    exempt_lines.update(
+                        range(node.lineno, node.end_lineno + 1))
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Attribute) and node.attr == "mcat"
+                    and isinstance(node.value, ast.Attribute)
+                    and node.value.attr in ("server", "federation")):
+                continue
+            if node.lineno in exempt_lines:
+                continue
+            errors.append(
+                f"{path.relative_to(ROOT)}:{node.lineno}: "
+                f"...{node.value.attr}.mcat in a plane module — go "
+                f"through the self.mcat property so sharded catalogs "
+                f"stay transparent")
+    return errors
+
+
 def main() -> int:
-    errors = check_public_methods_declared() + check_no_inline_plumbing()
+    errors = (check_public_methods_declared() + check_no_inline_plumbing()
+              + check_mcat_via_property())
     if errors:
         print(f"lint_dispatch: {len(errors)} violation(s)")
         for err in errors:
