@@ -92,6 +92,31 @@ class SrbClient:
     def ls(self, path: str) -> Dict[str, Any]:
         return self._call("list_collection", ticket=self.ticket, path=path)
 
+    def ls_page(self, path: str, limit: int = 100,
+                cursor: Optional[str] = None) -> Dict[str, Any]:
+        """One keyset page of :meth:`ls`: ``{"collections", "objects",
+        "next_cursor"}`` — feed ``next_cursor`` back for the rest."""
+        return self._call("list_collection_page", ticket=self.ticket,
+                          path=path, limit=limit, cursor=cursor)
+
+    def iter_ls(self, path: str, page_size: int = 100):
+        """Iterate a collection listing with transparent page fetch.
+
+        Streams ``list_collection_page`` chunks through
+        :meth:`~repro.net.rpc.ServiceRegistry.call_stream` (each page is
+        its own charged message pair) and yields entries one by one:
+        sub-collections first as ``{"path", "kind": "collection"}``,
+        then object rows as :meth:`ls` returns them.
+        """
+        for chunk in self.federation.rpc.call_stream(
+                self.client_host, self._server_host,
+                f"srb:{self.server_name}", "list_collection_page",
+                page_size=page_size, ticket=self.ticket, path=path):
+            for coll in chunk["collections"]:
+                yield {"path": coll, "kind": "collection"}
+            for obj in chunk["objects"]:
+                yield obj
+
     def stat(self, path: str) -> Dict[str, Any]:
         return self._call("stat", ticket=self.ticket, path=path)
 
@@ -156,6 +181,25 @@ class SrbClient:
         """Metadata for many paths in one round trip."""
         return self._call("bulk_query_metadata", ticket=self.ticket,
                           targets=list(targets), meta_class=meta_class)
+
+    def iter_bulk_query_metadata(self, targets: Sequence[str],
+                                 meta_class: Optional[str] = None,
+                                 page_size: int = 100):
+        """Iterate :meth:`bulk_query_metadata` results in bounded pages.
+
+        The target list is client-supplied, so paging slices it: one
+        ``bulk_query_metadata`` round trip per ``page_size`` targets,
+        yielding per-item results in target order as each reply lands —
+        peak reply size is bounded by the slice, and a failed item
+        (missing path, denied ACL) still yields its marshalled
+        ``error``/``error_type`` entry without disturbing later items.
+        """
+        targets = list(targets)
+        step = max(1, int(page_size))
+        for start in range(0, len(targets), step):
+            for item in self.bulk_query_metadata(
+                    targets[start:start + step], meta_class=meta_class):
+                yield item
 
     # -- registration -----------------------------------------------------------
 
@@ -292,6 +336,44 @@ class SrbClient:
                           include_annotations=include_annotations,
                           include_system=include_system, limit=limit,
                           strategy=strategy)
+
+    def query_page(self, scope: str,
+                   conditions: Sequence[Condition | DisplayOnly],
+                   include_annotations: bool = False,
+                   include_system: bool = False,
+                   limit: int = 100,
+                   cursor: Optional[str] = None) -> Dict[str, Any]:
+        """One keyset page of :meth:`query`: ``{"columns", "rows",
+        "next_cursor"}`` — feed ``next_cursor`` back for the rest."""
+        return self._call("query_page", ticket=self.ticket, scope=scope,
+                          conditions=list(conditions),
+                          include_annotations=include_annotations,
+                          include_system=include_system, limit=limit,
+                          cursor=cursor)
+
+    def iter_query(self, scope: str,
+                   conditions: Sequence[Condition | DisplayOnly],
+                   include_annotations: bool = False,
+                   include_system: bool = False,
+                   page_size: int = 100):
+        """Iterate query result rows with transparent page fetch.
+
+        Streams ``query_page`` chunks through
+        :meth:`~repro.net.rpc.ServiceRegistry.call_stream`: the first
+        row arrives after one page of catalog work (not the whole
+        result set), each page is a separately charged and admitted
+        message pair, and reply bytes accrue as the stream flows.
+        Yields result-row tuples in path order.
+        """
+        for chunk in self.federation.rpc.call_stream(
+                self.client_host, self._server_host,
+                f"srb:{self.server_name}", "query_page",
+                page_size=page_size, ticket=self.ticket, scope=scope,
+                conditions=list(conditions),
+                include_annotations=include_annotations,
+                include_system=include_system):
+            for row in chunk["rows"]:
+                yield row
 
     def queryable_attrs(self, scope: str,
                         include_system: bool = False) -> List[str]:

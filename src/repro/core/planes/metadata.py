@@ -13,7 +13,7 @@ from repro.core.dispatch import OpContext, rpc_op
 from repro.core.planes.base import PlaneService
 from repro.errors import AccessDenied, MetadataError
 from repro.mcat.query import Condition, DisplayOnly, QueryResult, search, \
-    queryable_attributes
+    search_page, queryable_attributes
 from repro.util import paths
 
 
@@ -232,6 +232,42 @@ class MetadataService(PlaneService):
         if ctx.span is not None:
             ctx.span.incr("rows", len(visible_rows))
         return result
+
+    @rpc_op("query_page", scope_arg="scope", forwardable=True,
+            audit="query", span_args=("scope",))
+    def query_page(self, ctx: OpContext, scope: str,
+                   conditions: Sequence[Condition | DisplayOnly],
+                   include_annotations: bool = False,
+                   include_system: bool = False,
+                   limit: int = 100,
+                   cursor: Optional[str] = None) -> Dict[str, Any]:
+        """One keyset page of :meth:`query`, charged per page.
+
+        Returns ``{"columns", "rows", "next_cursor"}``; feed
+        ``next_cursor`` back (or stream via ``SrbClient.iter_query``)
+        for the rest.  ACL filtering applies within the page, so a page
+        may carry fewer than ``limit`` visible rows while the cursor
+        still advances past everything scanned — no visible row is ever
+        skipped or duplicated.
+        """
+        principal = ctx.principal
+        self.access.require_collection(principal, scope, "read")
+        page = search_page(self.mcat, scope, conditions,
+                           include_annotations=include_annotations,
+                           include_system=include_system,
+                           limit=limit, cursor=cursor)
+        visible_rows = []
+        for row in page.rows:
+            obj = self.mcat.find_object(str(row[0]))
+            if obj is not None and self.access.can_object(principal, obj,
+                                                          "read"):
+                visible_rows.append(row)
+        ctx.audit(detail=f"{len(conditions)} conds, "
+                         f"{len(visible_rows)} hits (page)")
+        if ctx.span is not None:
+            ctx.span.incr("rows", len(visible_rows))
+        return {"columns": page.columns, "rows": visible_rows,
+                "next_cursor": page.next_cursor}
 
     @rpc_op("queryable_attrs", scope_arg="scope", forwardable=True)
     def queryable_attrs(self, ctx: OpContext, scope: str,

@@ -6,7 +6,7 @@ and uniformly refuse foreign-zone paths at the zone stage."""
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.auth.users import Principal
 from repro.core.dispatch import OpContext, rpc_op
@@ -64,6 +64,65 @@ class NamespaceService(PlaneService):
                              ("path", "name", "kind", "data_type", "owner",
                               "size", "version", "modified_at")})
         return {"collections": colls, "objects": objs}
+
+    @rpc_op("list_collection_page", scope_arg="path", forwardable=True)
+    def list_collection_page(self, ctx: OpContext, path: str,
+                             limit: int = 100,
+                             cursor: Optional[str] = None) -> Dict[str, Any]:
+        """One keyset page of :meth:`list_collection`.
+
+        Returns ``{"collections", "objects", "next_cursor"}``.  The
+        cursor is phase-prefixed: ``"c:<path>"`` while sub-collections
+        are being delivered, ``"o:<path>"`` while objects are (``"o:"``
+        alone starts the object phase) — collections always precede
+        objects, each phase in path order.  Object pages seek the sorted
+        path index, so a page is charged O(page) catalog rows where
+        :meth:`list_collection` charges the whole listing.  Shadow
+        directories have no catalog cursor and are served whole as a
+        single final page.
+        """
+        principal = ctx.principal
+        path = paths.normalize(path)
+        page_limit = max(1, int(limit))
+        if not self.mcat.collection_exists(path):
+            listing = self.list_collection(ctx, path)   # shadow fallbacks
+            listing["next_cursor"] = None
+            return listing
+        self.access.require_collection(principal, path, "read")
+
+        colls: list = []
+        next_cursor = None
+        obj_cursor: Optional[str] = None
+        room = page_limit
+        if cursor is None or cursor.startswith("c:"):
+            children = [c["path"] for c in self.mcat.child_collections(path)]
+            if cursor is not None:
+                last = cursor[2:]
+                children = [c for c in children if c > last]
+            colls = children[:page_limit]
+            if len(children) > page_limit:
+                return {"collections": colls, "objects": [],
+                        "next_cursor": "c:" + colls[-1]}
+            room = page_limit - len(colls)
+            if room == 0:
+                return {"collections": colls, "objects": [],
+                        "next_cursor": "o:"}
+        else:
+            if not cursor.startswith("o:"):
+                raise InvalidPath(f"bad listing cursor {cursor!r}")
+            obj_cursor = cursor[2:] or None
+
+        rows, nc = self.mcat.objects_in_collection_page(
+            path, cursor=obj_cursor, limit=room, recursive=False)
+        objs = []
+        for obj in rows:
+            if self.access.can_object(principal, obj, "read"):
+                objs.append({k: obj[k] for k in
+                             ("path", "name", "kind", "data_type", "owner",
+                              "size", "version", "modified_at")})
+        next_cursor = ("o:" + nc) if nc is not None else None
+        return {"collections": colls, "objects": objs,
+                "next_cursor": next_cursor}
 
     def _list_shadow(self, principal: Principal, shadow: Dict[str, Any],
                      path: str) -> Dict[str, Any]:

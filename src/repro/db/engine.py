@@ -116,6 +116,91 @@ class Database:
                                touched * self.ROW_SCAN_COST_S)
         return result
 
+    def execute_page(self, sql_text: str, params: Sequence[Any] = (),
+                     cursor: Optional[Any] = None,
+                     limit: int = 100) -> Tuple[ResultSet, Optional[Any]]:
+        """Run one keyset page of a SELECT; returns ``(page, next_cursor)``.
+
+        The statement must be a plain single-table SELECT (no UNION, JOIN,
+        aggregation or LIMIT) with exactly one *ascending* ORDER BY column
+        that is unique (the primary key or a unique-indexed column) and
+        carries a sorted index — the keyset: a page resumes strictly after
+        ``cursor`` (the last delivered key) and touches only the rows it
+        examines, so each page charges O(page) under the cost model
+        instead of O(result set).  ``next_cursor`` is ``None`` once the
+        result set is exhausted; feeding it back yields the next page.
+        Rows come back in key order; residual WHERE predicates are
+        re-checked per examined row, so a selective filter may examine
+        more than ``limit`` rows to fill a page.
+        """
+        query = S.parse(sql_text)
+        if not isinstance(query, S.Select):
+            raise DatabaseError("execute_page needs a plain SELECT")
+        sel = query
+        if sel.joins:
+            raise DatabaseError("execute_page does not support JOIN")
+        if sel.group_by or any(isinstance(i.expr, S.Aggregate)
+                               for i in sel.items):
+            raise DatabaseError("execute_page does not support aggregation")
+        if sel.limit is not None:
+            raise DatabaseError("execute_page pages via limit=, not LIMIT")
+        if len(sel.order_by) != 1 or sel.order_by[0].descending:
+            raise DatabaseError(
+                "execute_page needs exactly one ascending ORDER BY column")
+        order = sel.order_by[0]
+        base = self.table(sel.table.table)
+        col = order.column.column
+        if order.column.table not in (None, sel.table.name) \
+                or not base.has_column(col):
+            raise DatabaseError(f"ORDER BY column {order.column} not on "
+                                f"{sel.table.table!r}")
+        if col not in getattr(base, "_sorted_indexes", {}):
+            raise DatabaseError(
+                f"execute_page needs a sorted index on {col!r}")
+        unique = (col == base.primary_key
+                  or (col in base._hash_indexes
+                      and base._hash_indexes[col].unique))
+        if not unique:
+            raise DatabaseError(
+                f"execute_page ORDER BY column {col!r} must be unique "
+                "(keyset cursors need a total order)")
+
+        alias = sel.table.name
+        scope: Dict[str, Table] = {alias: base}
+        page_limit = max(1, int(limit))
+        before = self._total_scanned()
+        envs: List[Dict[str, Dict[str, Any]]] = []
+        lo = cursor
+        next_cursor: Optional[Any] = None
+        while True:
+            # one-row lookahead: a batch shorter than limit+1 proves the
+            # keyset is drained, so an exact-fit page ends the cursor
+            # instead of dangling an empty trailing page
+            rids = base.lookup_range(col, lo=lo, hi=None, lo_incl=False,
+                                     limit=page_limit + 1)
+            exhausted = len(rids) <= page_limit
+            filled = False
+            for i, rid in enumerate(rids):
+                env = {alias: base.row_dict(rid)}
+                lo = env[alias][col]
+                if sel.where is None or _truthy(
+                        _eval(sel.where, env, scope, list(params))):
+                    envs.append(env)
+                    if len(envs) == page_limit:
+                        remaining = not exhausted or i < len(rids) - 1
+                        next_cursor = lo if remaining else None
+                        filled = True
+                        break
+            if filled or exhausted:
+                break
+        columns, rows = self._project(sel, envs, scope)
+        self.queries_executed += 1
+        if self.clock is not None:
+            touched = self._total_scanned() - before
+            self.clock.advance(self.QUERY_OVERHEAD_S +
+                               touched * self.ROW_SCAN_COST_S)
+        return ResultSet(columns=columns, rows=rows), next_cursor
+
     def _total_scanned(self) -> int:
         return sum(t.rows_scanned for t in self._tables.values())
 

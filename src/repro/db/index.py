@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Any, Dict, List, Set
+from typing import Any, Dict, List, Optional, Set
 
 from repro.errors import DatabaseError
 
@@ -110,8 +110,14 @@ class SortedIndex:
             self._len -= 1
 
     def range(self, lo: Any = None, hi: Any = None,
-              lo_incl: bool = True, hi_incl: bool = True) -> List[int]:
-        """Row ids whose value lies in [lo, hi] (bounds optional)."""
+              lo_incl: bool = True, hi_incl: bool = True,
+              limit: Optional[int] = None) -> List[int]:
+        """Row ids whose value lies in [lo, hi] (bounds optional).
+
+        ``limit`` caps the result at the first ``limit`` ids in value
+        order — the keyset-pagination primitive: a page touches only the
+        entries it returns, not the whole qualifying range.
+        """
         if lo is not None:
             lo_entry = self._entry(lo, -1 if lo_incl else 2**62)
             start = (bisect.bisect_left if lo_incl else bisect.bisect_right)(
@@ -124,6 +130,8 @@ class SortedIndex:
                 self._keys, hi_entry)
         else:
             stop = len(self._keys)
+        if limit is not None:
+            stop = min(stop, start + max(0, int(limit)))
         return [rid for *_k, rid in self._keys[start:stop]]
 
     def __len__(self) -> int:

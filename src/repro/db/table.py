@@ -252,10 +252,19 @@ class Table:
         return out
 
     def lookup_range(self, column: str, lo: Any = None, hi: Any = None,
-                     lo_incl: bool = True, hi_incl: bool = True) -> List[int]:
-        """Row ids where ``lo <(=) column <(=) hi``, via sorted index if any."""
+                     lo_incl: bool = True, hi_incl: bool = True,
+                     limit: Optional[int] = None) -> List[int]:
+        """Row ids where ``lo <(=) column <(=) hi``, via sorted index if any.
+
+        With a sorted index and a ``limit``, only the returned entries are
+        charged to scan accounting (keyset pages stay O(page), not
+        O(range)); results come back in value order.  Without an index the
+        fallback scan charges every row it examines, limit or not, and
+        returns ids in heap order.
+        """
         if column in self._sorted_indexes:
-            rids = self._sorted_indexes[column].range(lo, hi, lo_incl, hi_incl)
+            rids = self._sorted_indexes[column].range(lo, hi, lo_incl,
+                                                      hi_incl, limit=limit)
             self.rows_scanned += len(rids)
             return rids
         off = self._offset[column]
@@ -269,6 +278,8 @@ class Table:
             if hi is not None and (v > hi or (v == hi and not hi_incl)):
                 continue
             out.append(rid)
+            if limit is not None and len(out) >= limit:
+                break
         return out
 
     def all_rows(self) -> List[Dict[str, Any]]:

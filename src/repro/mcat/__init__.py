@@ -13,9 +13,11 @@ from repro.mcat.extraction import ExtractionMethod, ExtractionRegistry
 from repro.mcat.query import (
     Condition,
     DisplayOnly,
+    QueryPage,
     QueryResult,
     queryable_attributes,
     search,
+    search_page,
 )
 from repro.mcat.schema import OBJECT_KINDS, PERMISSIONS
 from repro.mcat.shard import McatShard, ShardedMcat
@@ -25,6 +27,7 @@ __all__ = [
     "MetadataSchema", "SchemaElement", "SchemaRegistry",
     "dublin_core_schema", "DUBLIN_CORE_ELEMENTS",
     "ExtractionMethod", "ExtractionRegistry",
-    "Condition", "DisplayOnly", "QueryResult", "search", "queryable_attributes",
+    "Condition", "DisplayOnly", "QueryPage", "QueryResult", "search",
+    "search_page", "queryable_attributes",
     "export_catalog", "import_catalog", "migrate_catalog",
 ]

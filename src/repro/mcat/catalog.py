@@ -19,7 +19,7 @@ latencies (and dominates them in the E4 scaling experiment).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.db import Database
 from repro.errors import (
@@ -418,6 +418,58 @@ class Mcat:
                     if row["coll"] == coll or paths.is_ancestor(coll, row["coll"]):
                         rows.append(row)
             return sorted(rows, key=lambda r: r["path"])
+
+    def objects_in_collection_page(self, coll: str,
+                                   cursor: Optional[str] = None,
+                                   limit: int = 100,
+                                   recursive: bool = True
+                                   ) -> Tuple[List[Dict[str, Any]],
+                                              Optional[str]]:
+        """One path-ordered page of a collection's contents.
+
+        Keyset pagination over the sorted ``objects.path`` index: the
+        subtree of ``coll`` is exactly the lexicographic path range
+        ``(coll + "/", coll + "0")`` ("0" is the character after "/"),
+        and a page seeks strictly past ``cursor`` (the last path the
+        previous page delivered) — so each page is one charged catalog
+        op touching O(page) rows, where the materializing
+        :meth:`objects_in_collection` charges the whole subtree at once.
+
+        With ``recursive=False`` only direct children are delivered;
+        rows of nested sub-collections inside the scanned range are
+        examined (and charged) but skipped.  Returns ``(rows,
+        next_cursor)``; ``next_cursor`` is ``None`` once the scan is
+        exhausted, else feed it back for the next page.
+        """
+        with self._charged():
+            coll = paths.normalize(coll)
+            t = self.db.table("objects")
+            prefix = coll.rstrip("/") + "/"
+            hi = prefix[:-1] + "0"
+            lo = cursor if cursor is not None else prefix
+            page_limit = max(1, int(limit))
+            out: List[Dict[str, Any]] = []
+            next_cursor: Optional[str] = None
+            while True:
+                # one-row lookahead so an exact-fit page ends the
+                # cursor instead of dangling an empty trailing page
+                rids = t.lookup_range("path", lo, hi, lo_incl=False,
+                                      hi_incl=False, limit=page_limit + 1)
+                exhausted = len(rids) <= page_limit
+                filled = False
+                for i, rid in enumerate(rids):
+                    row = t.row_dict(rid)
+                    lo = row["path"]
+                    if recursive or row["coll"] == coll:
+                        out.append(row)
+                        if len(out) == page_limit:
+                            remaining = not exhausted or i < len(rids) - 1
+                            next_cursor = lo if remaining else None
+                            filled = True
+                            break
+                if filled or exhausted:
+                    break
+            return out, next_cursor
 
     def links_to(self, target_path: str) -> List[Dict[str, Any]]:
         """Link objects whose target is ``target_path``."""

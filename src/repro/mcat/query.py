@@ -64,6 +64,27 @@ class QueryResult:
         return len(self.rows)
 
 
+@dataclass
+class QueryPage:
+    """One cursor page of a :func:`search_page` result.
+
+    ``next_cursor`` is an opaque keyset token (the last path the page
+    scanned); ``None`` means the result set is exhausted.  Feeding it
+    back to :func:`search_page` resumes strictly after it, so a client
+    iterates the full result without any server-side cursor state.
+    """
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    next_cursor: Optional[str] = None
+
+    def dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, r)) for r in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
 def _match(op: str, stored_value: Optional[str], stored_num: Optional[float],
            wanted: Optional[str]) -> bool:
     """Evaluate one comparison against a stored metadata triple.
@@ -200,17 +221,7 @@ def search(mcat: Mcat, scope: str,
                       include_system=include_system,
                       limit=limit, strategy=strategy)
     rows_before = mcat._rows_scanned()
-    real_conditions = [c for c in conditions if isinstance(c, Condition)]
-    display_attrs: List[str] = []
-    for c in conditions:
-        attr = c.attr
-        show = c.display if isinstance(c, Condition) else True
-        if show and attr not in display_attrs:
-            display_attrs.append(attr)
-
-    for c in real_conditions:
-        if c.value is None:
-            raise QueryError(f"condition on {c.attr!r} has no value")
+    real_conditions, display_attrs = _condition_plan(conditions)
 
     candidate_ids: Optional[set] = None
     if strategy in ("auto", "index"):
@@ -269,6 +280,99 @@ def search(mcat: Mcat, scope: str,
     mcat.obs.metrics.inc("mcat.query_rows_matched", len(matched),
                          strategy=strategy, plan=plan)
     return QueryResult(columns=columns, rows=rows)
+
+
+def _condition_plan(conditions: Sequence[Condition | DisplayOnly]
+                    ) -> Tuple[List[Condition], List[str]]:
+    """Split the form rows into constraints and displayed attributes."""
+    real_conditions = [c for c in conditions if isinstance(c, Condition)]
+    display_attrs: List[str] = []
+    for c in conditions:
+        attr = c.attr
+        show = c.display if isinstance(c, Condition) else True
+        if show and attr not in display_attrs:
+            display_attrs.append(attr)
+    for c in real_conditions:
+        if c.value is None:
+            raise QueryError(f"condition on {c.attr!r} has no value")
+    return real_conditions, display_attrs
+
+
+def search_page(mcat: Mcat, scope: str,
+                conditions: Sequence[Condition | DisplayOnly],
+                include_annotations: bool = False,
+                include_system: bool = False,
+                limit: int = 100,
+                cursor: Optional[str] = None) -> QueryPage:
+    """One keyset page of :func:`search`, charged per page.
+
+    Same conjunctive semantics and row shape as :func:`search`, but the
+    catalog is touched O(page) at a time: candidates stream from the
+    sorted ``objects.path`` index strictly after ``cursor`` (paths are
+    the stable ordering key — identical to the materializing scan plan's
+    order), conditions are evaluated per candidate, and the page closes
+    at ``limit`` matches.  A selective filter may examine more than
+    ``limit`` candidates to fill a page; an exhausted scan returns
+    ``next_cursor=None``.  Sharded catalogs hook ``route_search_page``
+    to fan the page out across shards and merge (see
+    :meth:`repro.mcat.shard.ShardedMcat.route_search_page`).
+    """
+    scope = paths.normalize(scope)
+    router = getattr(mcat, "route_search_page", None)
+    if router is not None:
+        return router(scope, conditions,
+                      include_annotations=include_annotations,
+                      include_system=include_system,
+                      limit=limit, cursor=cursor)
+    rows_before = mcat._rows_scanned()
+    real_conditions, display_attrs = _condition_plan(conditions)
+    page_limit = max(1, int(limit))
+    matched: List[Dict[str, Any]] = []
+    attr_cache: Dict[int, Dict[str, List[Tuple[Optional[str],
+                                               Optional[float]]]]] = {}
+    next_cursor: Optional[str] = None
+    scan_cursor = cursor
+    while True:
+        batch, scan_cursor = mcat.objects_in_collection_page(
+            scope, cursor=scan_cursor, limit=page_limit)
+        filled = False
+        for i, obj in enumerate(batch):
+            values = _attribute_values(mcat, obj, include_annotations,
+                                       include_system)
+            ok = True
+            for cond in real_conditions:
+                stored = values.get(cond.attr, [])
+                if not any(_match(cond.op, v, n, cond.value)
+                           for v, n in stored):
+                    ok = False
+                    break
+            if ok:
+                matched.append(obj)
+                attr_cache[obj["oid"]] = values
+                if len(matched) == page_limit:
+                    remaining = scan_cursor is not None or i < len(batch) - 1
+                    next_cursor = str(obj["path"]) if remaining else None
+                    filled = True
+                    break
+        if filled or scan_cursor is None:
+            break
+    columns = ["path"] + display_attrs
+    rows = []
+    for obj in matched:
+        values = attr_cache[obj["oid"]]
+        row: List[Any] = [obj["path"]]
+        for attr in display_attrs:
+            stored = values.get(attr, [])
+            row.append("; ".join(v for v, _n in stored if v is not None)
+                       or None)
+        rows.append(tuple(row))
+    mcat.obs.metrics.inc("mcat.queries", strategy="page", plan="scan")
+    mcat.obs.metrics.inc("mcat.query_rows_scanned",
+                         mcat._rows_scanned() - rows_before,
+                         strategy="page", plan="scan")
+    mcat.obs.metrics.inc("mcat.query_rows_matched", len(matched),
+                         strategy="page", plan="scan")
+    return QueryPage(columns=columns, rows=rows, next_cursor=next_cursor)
 
 
 def _attribute_values(mcat: Mcat, obj: Dict[str, Any],

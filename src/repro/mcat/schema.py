@@ -55,7 +55,11 @@ def build_schema(db: Database) -> None:
         Column("checked_out_by", "TEXT"),
         Column("checksum", "TEXT"),                    # sha256 of the bytes
     ], primary_key="oid")
-    objects.create_index("path", unique=False)
+    # path carries a sorted index too: logical paths are the stable
+    # ordering key of every listing/query result, and keyset pagination
+    # seeks pages of a subtree as the lexicographic range
+    # (coll + "/", coll + "0") — O(page) per fetch, not O(subtree)
+    objects.create_index("path", unique=False, sorted_index=True)
     objects.create_index("coll")
     objects.create_index("kind")
 

@@ -512,6 +512,40 @@ class ShardedMcat:
                 coll, recursive=recursive))
         return sorted(rows, key=lambda r: r["path"])
 
+    def objects_in_collection_page(self, coll: str,
+                                   cursor: Optional[str] = None,
+                                   limit: int = 100,
+                                   recursive: bool = True
+                                   ) -> Tuple[List[Dict[str, Any]],
+                                              Optional[str]]:
+        """One merged keyset page of a collection's contents.
+
+        Same fan-out+merge cursor scheme as :meth:`route_search_page`:
+        each shard serves one page strictly past the global cursor, the
+        merged stream truncates to ``limit`` in path order, and the last
+        delivered path is the composite ``next_cursor``.
+        """
+        coll = paths.normalize(coll)
+        if not self._spans_shards(coll):
+            return self._read(self.shard_of_path(coll)) \
+                .objects_in_collection_page(coll, cursor=cursor,
+                                            limit=limit,
+                                            recursive=recursive)
+        page_limit = max(1, int(limit))
+        merged: List[Dict[str, Any]] = []
+        more_in_shards = False
+        for k in self._fanout("objects_in_collection_page"):
+            rows, nc = self._read(k).objects_in_collection_page(
+                coll, cursor=cursor, limit=page_limit, recursive=recursive)
+            merged.extend(rows)
+            more_in_shards = more_in_shards or nc is not None
+        merged.sort(key=lambda r: r["path"])
+        overflow = len(merged) > page_limit
+        out = merged[:page_limit]
+        next_cursor = (str(out[-1]["path"])
+                       if out and (overflow or more_in_shards) else None)
+        return out, next_cursor
+
     def links_to(self, target_path: str) -> List[Dict[str, Any]]:
         # links may point across partitions, so this is always a fan-out
         rows = []
@@ -954,6 +988,47 @@ class ShardedMcat:
         if limit is not None:
             merged.rows = merged.rows[:limit]
         return merged
+
+    def route_search_page(self, scope: str, conditions: Sequence[Any],
+                          include_annotations: bool = False,
+                          include_system: bool = False,
+                          limit: int = 100,
+                          cursor: Optional[str] = None):
+        """Fan-out+merge keyset page across shards.
+
+        One global cursor composes across shards because every shard
+        orders by the same key (the path): each shard serves its first
+        ``limit`` matches strictly after ``cursor``, the merged stream
+        is path-sorted, and the global first ``limit`` rows are
+        necessarily inside that union (a global top-``limit`` row is a
+        top-``limit`` row of its own shard).  ``next_cursor`` is the
+        last delivered path; the next page re-seeks every shard from
+        it, so no per-shard cursor state ever crosses the wire.
+        """
+        from repro.mcat import query as q
+        if not self._spans_shards(paths.normalize(scope)):
+            k = self.shard_of_path(scope)
+            return q.search_page(self._read(k), scope, conditions,
+                                 include_annotations=include_annotations,
+                                 include_system=include_system,
+                                 limit=limit, cursor=cursor)
+        page_limit = max(1, int(limit))
+        pages = [q.search_page(self._read(k), scope, conditions,
+                               include_annotations=include_annotations,
+                               include_system=include_system,
+                               limit=page_limit, cursor=cursor)
+                 for k in self._fanout("search_page")]
+        merged_rows: List[tuple] = []
+        for page in pages:
+            merged_rows.extend(page.rows)
+        merged_rows.sort(key=lambda r: r[0])    # column 0 is the path
+        overflow = len(merged_rows) > page_limit
+        rows = merged_rows[:page_limit]
+        more_in_shards = any(page.next_cursor is not None for page in pages)
+        next_cursor = (str(rows[-1][0])
+                       if rows and (overflow or more_in_shards) else None)
+        return q.QueryPage(columns=pages[0].columns, rows=rows,
+                           next_cursor=next_cursor)
 
     def route_queryable_attributes(self, scope: str,
                                    include_system: bool = False) -> List[str]:

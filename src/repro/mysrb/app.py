@@ -165,7 +165,8 @@ class MySrbApp:
         client = self._client(request)
         if path == "/browse":
             target = request.param("path", f"/{self.federation.zone}")
-            return Response(views.browse(client, target))
+            return Response(views.browse(
+                client, target, cursor=request.param("cursor") or None))
         if path == "/open":
             return Response(views.open_object(client, request.param("path")))
         if path == "/ingest" and method == "GET":
@@ -231,6 +232,8 @@ class MySrbApp:
                                   location=request.param("location") or None)
             return Response.redirect(f"/open?path={views.H.url_quote(p)}")
         if path == "/query" and method == "GET":
+            if request.param("run") or request.param("cursor"):
+                return self._do_query(client, request)   # next-page link
             scope = request.param("scope", f"/{self.federation.zone}")
             return Response(views.query_form(client, scope))
         if path == "/query" and method == "POST":
@@ -368,24 +371,31 @@ class MySrbApp:
         return Response.redirect(f"/metadata?path={views.H.url_quote(p)}")
 
     def _do_query(self, client: SrbClient, request: Request) -> Response:
+        """Run a query and render one page of results.
+
+        Conditions arrive either as form fields (the query form POST) or
+        as GET parameters (the *next page* cursor links round-trip them),
+        so both are read through :meth:`Request.param`.
+        """
         scope = request.param("scope")
         conditions: List[Condition | DisplayOnly] = []
         for i in range(1, 10):
-            attr = request.form.get(f"attr{i}", "")
+            attr = request.param(f"attr{i}", "")
             if not attr:
                 continue
-            value = request.form.get(f"value{i}", "")
-            show = bool(request.form.get(f"show{i}"))
+            value = request.param(f"value{i}", "")
+            show = bool(request.param(f"show{i}"))
             if value:
                 conditions.append(Condition(
-                    attr=attr, op=request.form.get(f"op{i}", "="),
+                    attr=attr, op=request.param(f"op{i}", "="),
                     value=value, display=show))
             elif show:
                 conditions.append(DisplayOnly(attr=attr))
         return Response(views.query_results(
             client, scope, conditions,
-            include_annotations=bool(request.form.get("annotations")),
-            include_system=bool(request.form.get("system"))))
+            include_annotations=bool(request.param("annotations")),
+            include_system=bool(request.param("system")),
+            cursor=request.param("cursor") or None))
 
     def _do_register(self, client: SrbClient, request: Request,
                      kind: str) -> Response:

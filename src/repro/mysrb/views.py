@@ -14,7 +14,7 @@ The two figures of the paper map to:
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.client import SrbClient
 from repro.errors import SrbError
@@ -28,6 +28,10 @@ _INLINEABLE_TYPES = ("ascii text", "html", "sql query", "url", "method",
 _EDITABLE_TYPES = ("ascii text",)          # "the edit facility is allowed
                                            # only for a few data types"
 _INLINE_LIMIT = 64 * 1024
+#: Hard bound on rows rendered per listing/results page.  A query over a
+#: huge collection must never materialize the whole hit set into one
+#: HTML document; pages past the bound are reached by cursor links.
+PAGE_BOUND = 200
 
 
 def _object_operations(path: str, kind: str) -> H.RawHtml:
@@ -50,13 +54,16 @@ def _object_operations(path: str, kind: str) -> H.RawHtml:
         for label, href in ops))
 
 
-def browse(client: SrbClient, path: str) -> str:
+def browse(client: SrbClient, path: str, cursor: Optional[str] = None,
+           page_size: int = PAGE_BOUND) -> str:
     """Figure 1: the split-window collection view.
 
     Top pane: collection metadata.  Bottom pane: sub-collections and
-    objects with per-object operations.
+    objects with per-object operations.  At most ``page_size`` entries
+    render per page; larger collections continue through a *next page*
+    cursor link instead of one unbounded document.
     """
-    listing = client.ls(path)
+    listing = client.ls_page(path, limit=page_size, cursor=cursor)
     try:
         md = client.get_metadata(path)
         anns = client.annotations(path)
@@ -82,6 +89,11 @@ def browse(client: SrbClient, path: str) -> str:
     bottom = "<h3>Contents</h3>" + (
         H.table(["name", "kind", "data type", "size", "operations"], rows)
         if rows else "<p><i>empty collection</i></p>")
+    if listing.get("next_cursor") is not None:
+        bottom += (f'<p><a class="next-page" href="/browse?'
+                   f'path={H.url_quote(path)}&amp;'
+                   f'cursor={H.url_quote(listing["next_cursor"])}">'
+                   f'next page &raquo;</a></p>')
     bottom += (
         f'<p><a href="/ingest?coll={H.url_quote(path)}">Ingest a file</a> | '
         f'<a href="/mkcoll?coll={H.url_quote(path)}">New sub-collection</a> | '
@@ -343,23 +355,63 @@ def query_form(client: SrbClient, scope: str, n_conditions: int = 4) -> str:
     return H.page(f"Query {scope}", top, bottom, nav=nav)
 
 
+def _query_link_params(scope: str,
+                       conditions: Sequence[Condition | DisplayOnly],
+                       include_annotations: bool,
+                       include_system: bool) -> str:
+    """GET parameters that round-trip a submitted query (for page links)."""
+    parts = [f"scope={H.url_quote(scope)}", "run=1"]
+    for i, cond in enumerate(conditions, start=1):
+        parts.append(f"attr{i}={H.url_quote(cond.attr)}")
+        if isinstance(cond, Condition):
+            parts.append(f"op{i}={H.url_quote(cond.op)}")
+            parts.append(f"value{i}={H.url_quote(str(cond.value))}")
+            if cond.display:
+                parts.append(f"show{i}=1")
+        else:
+            parts.append(f"show{i}=1")
+    if include_annotations:
+        parts.append("annotations=1")
+    if include_system:
+        parts.append("system=1")
+    return "&amp;".join(parts)
+
+
 def query_results(client: SrbClient, scope: str,
                   conditions: Sequence[Condition | DisplayOnly],
                   include_annotations: bool,
-                  include_system: bool) -> str:
-    """Render the hits of a submitted query as a linked listing."""
-    result = client.query(scope, conditions,
-                          include_annotations=include_annotations,
-                          include_system=include_system)
+                  include_system: bool,
+                  cursor: Optional[str] = None,
+                  page_size: int = PAGE_BOUND) -> str:
+    """Render one page of hits of a submitted query as a linked listing.
+
+    At most ``page_size`` rows render per page (the hit set of a query
+    over a large hierarchy is unbounded); further pages are fetched
+    through the server-side cursor carried in the *next page* link,
+    which round-trips the conditions as GET parameters.
+    """
+    result = client.query_page(scope, conditions,
+                               include_annotations=include_annotations,
+                               include_system=include_system,
+                               limit=page_size, cursor=cursor)
     rows = []
-    for row in result.rows:
+    for row in result["rows"]:
         cells: List[object] = [
             H.link_to(f"/open?path={H.url_quote(str(row[0]))}", str(row[0]))]
         cells.extend(row[1:])
         rows.append(cells)
-    top = (f"<h3>Query results in {H.e(scope)}</h3>"
-           f"<p>{len(result.rows)} matching SRB objects.</p>")
-    bottom = H.table(result.columns, rows) if rows else "<p><i>no matches</i></p>"
+    shown = (f"{len(rows)} matching SRB objects"
+             if result["next_cursor"] is None and cursor is None
+             else f"{len(rows)} matching SRB objects on this page")
+    top = (f"<h3>Query results in {H.e(scope)}</h3><p>{shown}.</p>")
+    bottom = (H.table(result["columns"], rows)
+              if rows else "<p><i>no matches</i></p>")
+    if result["next_cursor"] is not None:
+        params = _query_link_params(scope, conditions,
+                                    include_annotations, include_system)
+        bottom += (f'<p><a class="next-page" href="/query?{params}&amp;'
+                   f'cursor={H.url_quote(result["next_cursor"])}">'
+                   f'next page &raquo;</a></p>')
     nav = H.nav_bar(client.username if client.ticket else None, scope)
     return H.page("Query results", top, bottom, nav=nav)
 

@@ -357,9 +357,10 @@ class Shell:
                                    location=opts.get("-l"))
         return ""
 
-    @_usage("Squery [-s scope] <attr> <op> <value> [attr op value ...]")
+    @_usage("Squery [-s scope] [-n max] [-p page_size] "
+            "<attr> <op> <value> [attr op value ...]")
     def cmd_Squery(self, args: List[str]) -> str:
-        opts, rest = self._getopts(args, {"-s": True})
+        opts, rest = self._getopts(args, {"-s": True, "-n": True, "-p": True})
         if len(rest) % 3 != 0 or not rest:
             raise CommandError("conditions come in (attr op value) triples")
         conditions: List[Condition] = []
@@ -369,6 +370,30 @@ class Shell:
                 raise CommandError(f"operator {op!r} not in {OPERATORS}")
             conditions.append(Condition(attr, op, value))
         scope = self._abs(opts["-s"]) if "-s" in opts else self.cwd
+        if "-n" in opts or "-p" in opts:
+            # streaming mode: pages of -p rows flow back as separate
+            # replies, stopping after -n hits (0 = unlimited)
+            max_hits = int(opts.get("-n", "0"))
+            page_size = int(opts.get("-p", "100"))
+            lines: List[str] = []
+            truncated, cursor = False, None
+            while True:
+                page = self.client.query_page(scope, conditions,
+                                              limit=page_size, cursor=cursor)
+                if not lines:
+                    lines.append(" | ".join(page["columns"]))
+                for row in page["rows"]:
+                    if max_hits and len(lines) - 1 >= max_hits:
+                        truncated = True
+                        break
+                    lines.append(" | ".join(str(v) for v in row))
+                cursor = page["next_cursor"]
+                if truncated or cursor is None:
+                    break
+            hits = len(lines) - 1
+            lines.append(f"({hits} hits" + (", more available)"
+                                            if truncated else ")"))
+            return "\n".join(lines)
         result = self.client.query(scope, conditions)
         header = " | ".join(result.columns)
         lines = [header] + [" | ".join(str(v) for v in row)

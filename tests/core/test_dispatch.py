@@ -159,6 +159,8 @@ class TestOpsCounterRegression:
             ("mkcoll", lambda: srv.mkcoll(T, C + "/sub")),
             ("rmcoll", lambda: srv.rmcoll(T, C + "/doomed")),
             ("list_collection", lambda: srv.list_collection(T, C)),
+            ("list_collection_page",
+             lambda: srv.list_collection_page(T, C, limit=5)),
             ("stat", lambda: srv.stat(T, F)),
             ("move", lambda: srv.move(T, C + "/mv.txt", C + "/mv2.txt")),
             ("link", lambda: srv.link(T, F, C + "/lnk")),
@@ -227,6 +229,7 @@ class TestOpsCounterRegression:
              lambda: srv.add_annotation(T, F, "comment", "checked")),
             ("annotations", lambda: srv.annotations(T, F)),
             ("query", lambda: srv.query(T, C, [])),
+            ("query_page", lambda: srv.query_page(T, C, [], limit=5)),
             ("queryable_attrs", lambda: srv.queryable_attrs(T, C)),
             ("grant", lambda: srv.grant(T, F, "sekar@sdsc", "read")),
             ("revoke", lambda: srv.revoke(T, F, "sekar@sdsc")),

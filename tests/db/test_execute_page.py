@@ -1,0 +1,102 @@
+"""Keyset pagination at the SQL layer (``Database.execute_page``)."""
+
+import pytest
+
+from repro.db import Column, Database
+from repro.errors import DatabaseError
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    t = db.create_table("items", [
+        Column("id", "INT", nullable=False), Column("name", "TEXT"),
+        Column("score", "INT")], primary_key="id")
+    t.create_index("id", unique=True, sorted_index=True)
+    for i in range(1, 51):
+        t.insert({"id": i, "name": f"n{i:03d}", "score": i % 7})
+    return db
+
+
+def drain(db, sql, limit):
+    """All rows of ``sql`` through the cursor loop, counting pages."""
+    rows, cursor, pages = [], None, 0
+    while True:
+        rs, cursor = db.execute_page(sql, cursor=cursor, limit=limit)
+        rows.extend(rs.rows)
+        pages += 1
+        if cursor is None:
+            return rows, pages
+
+
+class TestPaging:
+    def test_parity_with_execute(self, db):
+        sql = "SELECT id, name FROM items ORDER BY id"
+        rows, _pages = drain(db, sql, limit=7)
+        assert rows == db.execute(sql).rows
+
+    def test_parity_with_residual_where(self, db):
+        sql = "SELECT id FROM items WHERE score = 3 ORDER BY id"
+        rows, _pages = drain(db, sql, limit=2)
+        assert rows == db.execute(sql).rows
+
+    def test_page_size_respected(self, db):
+        rs, cursor = db.execute_page(
+            "SELECT id FROM items ORDER BY id", limit=10)
+        assert len(rs.rows) == 10
+        assert cursor == 10       # the last delivered key
+
+    def test_cursor_resumes_strictly_after(self, db):
+        rs1, c1 = db.execute_page(
+            "SELECT id FROM items ORDER BY id", limit=5)
+        rs2, _c2 = db.execute_page(
+            "SELECT id FROM items ORDER BY id", cursor=c1, limit=5)
+        assert [r[0] for r in rs1.rows] == [1, 2, 3, 4, 5]
+        assert [r[0] for r in rs2.rows] == [6, 7, 8, 9, 10]
+
+    def test_exact_fit_ends_without_trailing_page(self, db):
+        # 50 rows in pages of 10: the fifth page must come back with
+        # next_cursor None, not dangle an empty sixth page
+        _rows, pages = drain(db, "SELECT id FROM items ORDER BY id", 10)
+        assert pages == 5
+
+    def test_empty_result(self, db):
+        rs, cursor = db.execute_page(
+            "SELECT id FROM items WHERE score = 99 ORDER BY id", limit=5)
+        assert rs.rows == [] and cursor is None
+
+
+class TestCharging:
+    def test_page_charges_o_page_not_o_table(self):
+        def build():
+            db = Database(clock=SimClock())
+            t = db.create_table("big", [Column("id", "INT")],
+                                primary_key="id")
+            t.create_index("id", unique=True, sorted_index=True)
+            for i in range(2000):
+                t.insert({"id": i})
+            return db
+
+        paged, full = build(), build()
+        t0 = paged.clock.now
+        paged.execute_page("SELECT id FROM big ORDER BY id", limit=10)
+        page_cost = paged.clock.now - t0
+        t0 = full.clock.now
+        full.execute("SELECT id FROM big ORDER BY id")
+        full_cost = full.clock.now - t0
+        assert page_cost < full_cost / 10
+
+
+class TestRejections:
+    @pytest.mark.parametrize("sql", [
+        "SELECT id FROM items",                        # no ORDER BY
+        "SELECT id FROM items ORDER BY id DESC",       # descending
+        "SELECT id FROM items ORDER BY id, name",      # two keys
+        "SELECT name FROM items ORDER BY name",        # non-unique key
+        "SELECT score, COUNT(*) FROM items GROUP BY score ORDER BY score",
+        "SELECT id FROM items ORDER BY id LIMIT 3",    # LIMIT clashes
+    ])
+    def test_rejected_shapes(self, db, sql):
+        with pytest.raises(DatabaseError):
+            db.execute_page(sql, limit=5)

@@ -29,9 +29,11 @@ SCOPED_OPS = [
     "compact_container", "container_garbage", "copy", "copy_metadata",
     "create_container", "define_structural", "delete", "delete_metadata",
     "extract_metadata", "get", "get_metadata", "get_version", "grant",
-    "ingest", "ingest_replica", "link", "list_collection", "lock",
+    "ingest", "ingest_replica", "link", "list_collection",
+    "list_collection_page", "lock",
     "migrate_collection", "mkcoll", "move", "physical_move", "pin", "put",
-    "query", "queryable_attrs", "register_directory", "register_file",
+    "query", "query_page", "queryable_attrs", "register_directory",
+    "register_file",
     "register_method", "register_replica", "register_sql", "register_url",
     "replicate", "revoke", "rmcoll", "stat", "structural_metadata",
     "sync_container", "synchronize", "unlock", "unpin", "update_metadata",

@@ -1,0 +1,135 @@
+"""Chunked streaming replies (``ServiceRegistry.call_stream``)."""
+
+import pytest
+
+from repro.errors import NoSuchObject, ServerBusy
+from repro.net.rpc import ServiceRegistry
+from repro.net.simnet import Network
+from repro.net.wire import message_size
+
+
+class PagedService:
+    """A cursor-paged op over a fixed row set, plus failure variants."""
+
+    def __init__(self, n=25):
+        self.rows = [f"row-{i:04d}" for i in range(n)]
+        self.calls = 0
+
+    def page(self, cursor=None, limit=10):
+        self.calls += 1
+        start = 0 if cursor is None else int(cursor)
+        chunk = self.rows[start:start + limit]
+        nxt = start + limit if start + limit < len(self.rows) else None
+        return {"rows": chunk,
+                "next_cursor": str(nxt) if nxt is not None else None}
+
+    def broken_page(self, cursor=None, limit=10):
+        """First page flows, the second raises mid-stream."""
+        if cursor is not None:
+            raise NoSuchObject("catalog row vanished mid-stream")
+        return {"rows": self.rows[:limit], "next_cursor": str(limit)}
+
+
+@pytest.fixture
+def setup():
+    net = Network()
+    net.add_host("client")
+    net.add_host("server")
+    rpc = ServiceRegistry(net)
+    svc = PagedService()
+    rpc.register("server", "svc", svc)
+    return net, rpc, svc
+
+
+class TestStreaming:
+    def test_all_rows_arrive_in_order(self, setup):
+        net, rpc, svc = setup
+        rows = [r for chunk in
+                rpc.call_stream("client", "server", "svc", "page",
+                                page_size=10)
+                for r in chunk["rows"]]
+        assert rows == svc.rows
+        assert svc.calls == 3
+
+    def test_each_chunk_is_a_charged_message_pair(self, setup):
+        net, rpc, svc = setup
+        calls0 = rpc.stats.calls
+        resp0 = rpc.stats.response_bytes
+        seen = []
+        for chunk in rpc.call_stream("client", "server", "svc", "page",
+                                     page_size=10):
+            # response bytes accrue as the stream flows, not at the end
+            seen.append(rpc.stats.response_bytes - resp0)
+        assert rpc.stats.calls - calls0 == 3
+        assert seen == sorted(seen) and seen[0] > 0
+        assert seen[-1] > seen[0]
+
+    def test_first_chunk_beats_last(self, setup):
+        net, rpc, svc = setup
+        t0 = net.clock.now
+        stream = rpc.call_stream("client", "server", "svc", "page",
+                                 page_size=5)
+        next(stream)
+        first_latency = net.clock.now - t0
+        for _ in stream:
+            pass
+        total_latency = net.clock.now - t0
+        assert first_latency < total_latency / 2
+        hists = net.obs.metrics.histogram_series("rpc.stream.first_chunk_s")
+        (h,) = hists.values()
+        assert h.count == 1 and abs(h.max - first_latency) < 1e-12
+
+    def test_peak_chunk_bytes_bounded_by_page(self, setup):
+        net, rpc, svc = setup
+        for _ in rpc.call_stream("client", "server", "svc", "page",
+                                 page_size=5):
+            pass
+        (h,) = net.obs.metrics.histogram_series(
+            "rpc.stream.chunk_bytes").values()
+        whole = message_size({"rows": svc.rows, "next_cursor": None})
+        assert h.count == 5
+        assert h.max < whole / 2
+
+    def test_stream_counters(self, setup):
+        net, rpc, svc = setup
+        for _ in rpc.call_stream("client", "server", "svc", "page",
+                                 page_size=10):
+            pass
+        assert sum(net.obs.metrics.series("rpc.streams").values()) == 1
+        assert sum(net.obs.metrics.series("rpc.stream.chunks").values()) == 3
+
+
+class TestMidStreamFailure:
+    def test_error_marshalled_after_first_chunk(self, setup):
+        net, rpc, svc = setup
+        stream = rpc.call_stream("client", "server", "svc", "broken_page",
+                                 page_size=10)
+        first = next(stream)
+        assert len(first["rows"]) == 10     # delivered chunks stand
+        fails0 = rpc.stats.failures
+        with pytest.raises(NoSuchObject):
+            next(stream)
+        assert rpc.stats.failures == fails0 + 1
+
+    def test_mid_stream_shed_leaves_station_clean(self, setup):
+        net, rpc, svc = setup
+        st = net.install_station("server", workers=1, queue_depth=0)
+        stream = rpc.call_stream("client", "server", "svc", "page",
+                                 page_size=10)
+        next(stream)                        # chunk 1 admitted normally
+        # a competing request occupies the single worker far into the
+        # future, so the next chunk's admission must shed
+        adm = st.admit(net.clock.now)
+        st.complete(adm, net.clock.now + 1e6)
+        with pytest.raises(ServerBusy):
+            next(stream)
+        # the shed chunk left no bookkeeping behind: every worker slot
+        # is accounted for and no phantom queue entry lingers
+        assert len(st._free) == st.workers
+        assert st.queue_length(net.clock.now + 2e6) == 0
+        assert st.shed == 1
+        # ...and the stream can resume once the worker frees up
+        net.clock.advance(1e6 + 1.0)
+        rest = rpc.call("client", "server", "svc", "page",
+                        cursor="10", limit=100)
+        assert rest["rows"] == svc.rows[10:]

@@ -1,0 +1,104 @@
+"""Admission bookkeeping across multi-message exchanges.
+
+A paged query is one logical exchange made of several charged message
+pairs, each admitted separately.  A chunk shed mid-exchange must behave
+exactly like any other shed: nothing pushed to the worker heap, no
+phantom queue entry, no ``busy_until`` the station would later charge a
+stranger for — the regression here pins that under an open-loop burst
+where many exchanges interleave and several die between chunks.
+"""
+
+import pytest
+
+from repro.errors import ServerBusy
+from repro.net.rpc import ServiceRegistry
+from repro.net.simnet import Network
+
+SERVICE_S = 0.05
+
+
+class SlowPagedService:
+    """Two-page op whose handler occupies a worker for SERVICE_S."""
+
+    def __init__(self, network):
+        self.network = network
+        self.served = 0
+
+    def page(self, cursor=None, limit=10):
+        self.network.clock.advance(SERVICE_S)
+        self.served += 1
+        if cursor is None:
+            return {"rows": list(range(limit)), "next_cursor": "1"}
+        return {"rows": list(range(limit)), "next_cursor": None}
+
+
+@pytest.fixture
+def setup():
+    net = Network()
+    net.add_host("client")
+    net.add_host("server")
+    rpc = ServiceRegistry(net)
+    svc = SlowPagedService(net)
+    rpc.register("server", "svc", svc)
+    station = net.install_station("server", workers=1, queue_depth=1)
+    return net, rpc, svc, station
+
+
+def test_open_loop_burst_sheds_leave_no_stale_state(setup):
+    net, rpc, svc, st = setup
+    n_clients = 10
+    # phase A: every client opens its exchange at a scheduled arrival
+    in_flight = []
+    for i in range(n_clients):
+        try:
+            with rpc.open_loop(0.001 * i):
+                reply = rpc.call("client", "server", "svc", "page",
+                                 cursor=None, limit=10)
+            in_flight.append((i, reply["next_cursor"]))
+        except ServerBusy:
+            pass
+    assert 0 < len(in_flight) < n_clients    # burst saturated the queue
+    # phase B: the survivors ask for their second chunk while the worker
+    # is still draining phase A — these sheds happen *mid-exchange*
+    mid_sheds = 0
+    for i, cursor in in_flight:
+        try:
+            with rpc.open_loop(0.001 * (n_clients + i)):
+                rpc.call("client", "server", "svc", "page",
+                         cursor=cursor, limit=10)
+        except ServerBusy:
+            mid_sheds += 1
+    assert mid_sheds > 0
+
+    # invariants: every worker slot is back on the heap, the wait queue
+    # drains to zero once time passes, and the books balance
+    assert len(st._free) == st.workers
+    assert st.queue_length(max(st._free) + 1.0) == 0
+    assert st.admitted + st.shed == n_clients + len(in_flight)
+    assert st.admitted == svc.served
+
+    # a quiet-period request is admitted instantly: no phantom
+    # busy_until / queue entry survived the burst
+    net.clock.advance(max(st._free) + 1.0)
+    rpc.call("client", "server", "svc", "page", cursor=None, limit=10)
+    assert rpc.last_timing.wait == 0.0 and not rpc.last_timing.shed
+
+
+def test_serial_stream_after_burst_is_unaffected(setup):
+    """Post-burst, a full exchange pays only its own service time."""
+    net, rpc, svc, st = setup
+    for i in range(6):
+        try:
+            with rpc.open_loop(0.0):
+                rpc.call("client", "server", "svc", "page",
+                         cursor=None, limit=10)
+        except ServerBusy:
+            pass
+    net.clock.advance(1000.0)
+    t0 = net.clock.now
+    chunks = list(rpc.call_stream("client", "server", "svc", "page",
+                                  page_size=10))
+    assert len(chunks) == 2
+    elapsed = net.clock.now - t0
+    link = net.default_link.latency_s
+    assert elapsed == pytest.approx(2 * SERVICE_S + 4 * link, rel=0.5)

@@ -23,7 +23,7 @@ import sys
 
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "benchmarks", "output")
-EXPECTED = ("e12", "e13", "e14", "e15", "e16")
+EXPECTED = ("e12", "e13", "e14", "e15", "e16", "e17")
 
 
 def main(argv) -> int:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint the plane services against the dispatch pipeline contract.
 
-Three rules keep the refactored server honest (see DESIGN.md, "SRB
+Four rules keep the refactored server honest (see DESIGN.md, "SRB
 server architecture"):
 
 1. **Every public plane-service method is a declared op.**  The RPC
@@ -25,6 +25,16 @@ server architecture"):
    the property is one ``Mcat`` or a ``ShardedMcat`` router.  The sole
    sanctioned chain is the ``mcat`` property definition itself in
    ``planes/base.py``.
+
+4. **Query ops must not return unbounded materializations.**  A read
+   handler that walks a whole-subtree enumerator
+   (``objects_in_collection``, ``subtree_collections``, ...) and ships
+   the full result in one reply makes peak reply size O(catalog); the
+   streaming plane (DESIGN.md, "Streaming query plane") exists so new
+   query surface is cursor-paged.  Any non-write ``@rpc_op`` handler
+   that calls an unbounded enumerator must take ``limit``/``cursor``
+   parameters or appear in the frozen legacy allowlist (which must
+   only ever shrink).
 
 Run from the repository root::
 
@@ -58,6 +68,18 @@ BANNED_CALLS = {
     "_require_local": "zone refusal is the pipeline's zone stage",
     "_op": "op spans/metrics are the pipeline's span stage",
 }
+
+
+#: Catalog/table enumerators that materialize an unbounded row set.
+UNBOUNDED_ENUMERATORS = {
+    "objects_in_collection", "subtree_collections", "audit_query",
+    "queryable_attributes", "all_rows", "scan",
+}
+
+#: Read ops grandfathered in before the streaming query plane existed.
+#: Frozen: entries may be removed as ops grow paged variants, never
+#: added — new query surface must be cursor-paged from day one.
+UNBOUNDED_LEGACY_OPS = {"list_collection", "audit_log", "queryable_attrs"}
 
 
 def check_public_methods_declared() -> List[str]:
@@ -124,9 +146,59 @@ def check_mcat_via_property() -> List[str]:
     return errors
 
 
+def _rpc_op_decoration(node: ast.FunctionDef):
+    """The ``(op_name, is_write)`` of an ``@rpc_op`` decorator, if any."""
+    for dec in node.decorator_list:
+        if not (isinstance(dec, ast.Call) and (
+                (isinstance(dec.func, ast.Name) and dec.func.id == "rpc_op")
+                or (isinstance(dec.func, ast.Attribute)
+                    and dec.func.attr == "rpc_op"))):
+            continue
+        name = node.name
+        if dec.args and isinstance(dec.args[0], ast.Constant):
+            name = str(dec.args[0].value)
+        is_write = any(kw.arg == "write" and
+                       isinstance(kw.value, ast.Constant) and kw.value.value
+                       for kw in dec.keywords)
+        return name, is_write
+    return None
+
+
+def check_query_ops_paged() -> List[str]:
+    """Rule 4: read handlers over unbounded enumerators must page."""
+    errors = []
+    for path in sorted(PLANES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            decoration = _rpc_op_decoration(node)
+            if decoration is None:
+                continue
+            op_name, is_write = decoration
+            if is_write or op_name in UNBOUNDED_LEGACY_OPS:
+                continue
+            unbounded = sorted({
+                call.func.attr for call in ast.walk(node)
+                if isinstance(call, ast.Call)
+                and isinstance(call.func, ast.Attribute)
+                and call.func.attr in UNBOUNDED_ENUMERATORS})
+            if not unbounded:
+                continue
+            params = {a.arg for a in node.args.args + node.args.kwonlyargs}
+            if not {"limit", "cursor"} <= params:
+                errors.append(
+                    f"{path.relative_to(ROOT)}:{node.lineno}: read op "
+                    f"{op_name!r} materializes {', '.join(unbounded)}() "
+                    f"without limit/cursor parameters — page it through "
+                    f"the streaming query plane (or shrink, never grow, "
+                    f"the legacy allowlist)")
+    return errors
+
+
 def main() -> int:
     errors = (check_public_methods_declared() + check_no_inline_plumbing()
-              + check_mcat_via_property())
+              + check_mcat_via_property() + check_query_ops_paged())
     if errors:
         print(f"lint_dispatch: {len(errors)} violation(s)")
         for err in errors:
