@@ -137,10 +137,54 @@ def scenario_e13_bulk():
     return out
 
 
+def scenario_e3_policies():
+    """E3's core series: reads under each static selection policy.
+
+    Exercises the selector state machines (round-robin counter, LCG
+    shuffle, nearest latency sort) through real gets, so a placement
+    refactor that perturbs any policy's ordering or its per-federation
+    state shows up as a virtual-time / message-count drift."""
+    out = {}
+    for policy in ("primary", "round-robin", "random", "nearest"):
+        fed = flat_fed(n_hosts=4, selection_policy=policy)
+        client = admin_client(fed)
+        client.ingest(PATH, b"balanced" * 2000, resource="fs1")
+        for res in ("fs2", "fs3"):
+            client.replicate(PATH, res)
+        t0 = fed.clock.now
+        for _ in range(6):
+            assert client.get(PATH).startswith(b"balanced")
+        out[f"{policy}_reads_s"] = fed.clock.now - t0
+        out[f"{policy}_messages"] = fed.stats()["messages"]
+    return out
+
+
+def scenario_e14_striped():
+    """E14's core striped-read series: fan-out ingest + k-striped gets."""
+    fed = flat_fed(n_hosts=5, parallel_fanout=True)
+    client = admin_client(fed)
+    fed.add_logical_resource("all", [f"fs{i}" for i in range(1, 5)])
+    t0 = fed.clock.now
+    client.ingest(PATH, b"wide" * 100_000, resource="all")
+    out = {"fanout_ingest_s": fed.clock.now - t0}
+    for k in (2, 4):
+        t0 = fed.clock.now
+        assert client.get(PATH, stripes=k).startswith(b"wide")
+        out[f"striped_read_k{k}_s"] = fed.clock.now - t0
+    t0 = fed.clock.now
+    client.put(PATH, b"dirtying" * 50_000)
+    client.synchronize(PATH)
+    out["synchronize_s"] = fed.clock.now - t0
+    out.update(_grid_costs(fed))
+    return out
+
+
 SCENARIOS = {
     "e2_failover": scenario_e2_failover,
+    "e3_policies": scenario_e3_policies,
     "e4_catalog": scenario_e4_catalog,
     "e13_bulk": scenario_e13_bulk,
+    "e14_striped": scenario_e14_striped,
 }
 
 

@@ -19,7 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.auth.tickets import Ticket
 from repro.auth.users import UserRegistry
@@ -134,7 +134,10 @@ class SrbClient:
     def get(self, path: str, replica_num: Optional[int] = None,
             args: Optional[str] = None,
             sql_remainder: Optional[str] = None,
-            stripes: Optional[int] = None) -> bytes:
+            stripes: Union[int, str, None] = None) -> bytes:
+        """``stripes`` is a chunk count for SRB parallel I/O, or
+        ``"auto"`` to let the server's placement engine pick one from
+        measured path bandwidths."""
         kwargs: Dict[str, Any] = {}
         if stripes is not None:
             # only serialized when used, so default gets stay

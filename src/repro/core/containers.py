@@ -21,11 +21,12 @@ whole container instead of one per file.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.errors import ContainerError, HostUnreachable, ResourceUnavailable
 from repro.mcat.catalog import Mcat
 from repro.net.simnet import Network
+from repro.policy import PlacementEngine
 from repro.storage.resource import ResourceRegistry
 
 
@@ -33,10 +34,16 @@ class ContainerManager:
     """Creates containers, appends members, reads members, synchronizes."""
 
     def __init__(self, mcat: Mcat, resources: ResourceRegistry,
-                 network: Network):
+                 network: Network,
+                 placement: Optional[PlacementEngine] = None):
         self.mcat = mcat
         self.resources = resources
         self.network = network
+        # container replica ordering goes through the placement engine
+        # (cache-tier-first always; within a tier the policy may rank by
+        # measured path cost).  Standalone managers build a default one.
+        self.placement = placement if placement is not None \
+            else PlacementEngine(resources, network)
 
     # -- creation -------------------------------------------------------------
 
@@ -66,17 +73,15 @@ class ContainerManager:
 
     # -- replica choice -----------------------------------------------------------
 
-    def _ordered_replicas(self, container_oid: int) -> List[Dict[str, Any]]:
+    def _ordered_replicas(self, container_oid: int,
+                          from_host: Optional[str] = None
+                          ) -> List[Dict[str, Any]]:
         """Container replicas, cache (non-archive) resources first."""
         replicas = self.mcat.replicas(container_oid)
         if not replicas:
             raise ContainerError(f"container {container_oid} has no replicas")
-
-        def key(row: Dict[str, Any]) -> Tuple[int, int]:
-            res = self.resources.physical(row["resource"])
-            return (1 if res.rtype == "archive" else 0, row["replica_num"])
-
-        return sorted(replicas, key=key)
+        return self.placement.order_container_replicas(replicas,
+                                                       from_host=from_host)
 
     def primary_replica(self, container_oid: int) -> Dict[str, Any]:
         return self._ordered_replicas(container_oid)[0]
@@ -125,7 +130,8 @@ class ContainerManager:
         offset = int(member_replica["offset"])
         length = int(member_replica["size"])
         last_error: Optional[Exception] = None
-        for crep in self._ordered_replicas(int(coid)):
+        for crep in self._ordered_replicas(int(coid),
+                                           from_host=server_host):
             if crep["is_dirty"]:
                 continue                      # stale copy: do not serve
             res = self.resources.physical(crep["resource"])

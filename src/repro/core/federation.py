@@ -27,7 +27,6 @@ from repro.auth.users import Principal, UserRegistry
 from repro.core.access import AccessController
 from repro.core.containers import ContainerManager
 from repro.core.locking import LockManager
-from repro.core.replication import ReplicaSelector
 from repro.core.server import SrbServer
 from repro.errors import NoSuchServer, SrbError
 from repro.mcat.catalog import Mcat
@@ -35,6 +34,7 @@ from repro.mcat.shard import ShardedMcat
 from repro.mcat.extraction import ExtractionRegistry
 from repro.net.rpc import ServiceRegistry
 from repro.net.simnet import LinkSpec, Network, WAN
+from repro.policy import PlacementEngine
 from repro.storage.archive import ArchiveDriver, TapeCost
 from repro.storage.base import DeviceCost, DISK_COST
 from repro.storage.database import DatabaseResourceDriver
@@ -51,6 +51,7 @@ class Federation:
     def __init__(self, zone: str = "demozone",
                  default_link: LinkSpec = WAN,
                  selection_policy: str = "primary",
+                 placement: Optional[str] = None,
                  sso_enabled: bool = True,
                  audit_enabled: bool = True,
                  charge_storage_time: bool = True,
@@ -106,10 +107,22 @@ class Federation:
         self.resources = ResourceRegistry(self.network)
         self.access = AccessController(self.mcat, self.users)
         self.locks = LockManager(self.mcat, self.clock)
+        # the placement engine (repro.policy): one pluggable seam for
+        # every replica/resource choice.  ``placement`` accepts the four
+        # historical static policies plus "observed" (rank by measured
+        # path history — E18); ``selection_policy`` is the pre-engine
+        # spelling and keeps working for the static four.  The engine's
+        # PathStats observer watches the wire from day one, cost-free,
+        # whatever the policy.
+        self.placement = PlacementEngine(
+            self.resources, self.network,
+            policy=placement if placement is not None else selection_policy)
+        # legacy spelling: fed.selector.policy / fed.selector.order()
+        # answer from the engine (one copy of policy state)
+        self.selector = self.placement.legacy_selector
         self.containers = ContainerManager(self.mcat, self.resources,
-                                           self.network)
-        self.selector = ReplicaSelector(self.resources, self.network,
-                                        policy=selection_policy)
+                                           self.network,
+                                           placement=self.placement)
         self.web = WebSpace(self.network)
         self.extractors = ExtractionRegistry()
         self.servers: Dict[str, SrbServer] = {}
@@ -367,4 +380,5 @@ class Federation:
                 metrics.total("mcat.shard.replica_reads")),
             "mcat_replication_pending": self.mcat.replication_lag()
             if isinstance(self.mcat, ShardedMcat) else 0,
+            **self.placement.summary(),
         }

@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 from repro.core.dispatch import OpContext, rpc_op
 from repro.core.planes.base import PlaneService, content_checksum
-from repro.core.replication import pick_clean_available, synchronize
+from repro.core.replication import synchronize
 from repro.errors import (
     HostUnreachable,
     ResourceUnavailable,
@@ -51,12 +51,13 @@ class ReplicaService(PlaneService):
             raise UnsupportedOperation(
                 "mySRB does not support replication of files inside a "
                 "container with this operation")
-        chain = pick_clean_available(self.federation.selector,
-                                     self.resources,
-                                     replicas, from_host=self.host)
+        chain = self.federation.placement.failover_chain(
+            replicas, from_host=self.host)
         src = chain[0]
         src_res = self.resources.physical(src["resource"])
-        dst_resources = self.resources.resolve(resource)
+        dst_resources = self.federation.placement.order_resources(
+            self.resources.resolve(resource), from_host=src_res.host,
+            size_hint=int(src.get("size") or 0))
         self._resource_session(src_res)
         data = src_res.driver.read(src["physical_path"])
         new_num = -1
@@ -109,7 +110,9 @@ class ReplicaService(PlaneService):
         obj = self._resolve_link(obj)
         self.access.require_object(principal, obj, "write")
         oid = int(obj["oid"])
-        res_list = self.resources.resolve(resource)
+        res_list = self.federation.placement.order_resources(
+            self.resources.resolve(resource), from_host=self.host,
+            size_hint=len(data))
         num = -1
         for res in res_list:
             phys = f"/srb/ingested-replicas/{oid}-" \
@@ -129,7 +132,8 @@ class ReplicaService(PlaneService):
         count = synchronize(self.mcat, self.resources, self.network,
                             int(obj["oid"]),
                             parallel=self.federation.parallel_fanout,
-                            streams=self.federation.data_streams)
+                            streams=self.federation.data_streams,
+                            placement=self.federation.placement)
         ctx.audit(detail=str(count))
         return count
 
@@ -158,8 +162,8 @@ class ReplicaService(PlaneService):
             raise UnsupportedOperation(
                 "physical move targets a single physical resource")
         dst_res = dst_list[0]
-        chain = pick_clean_available(self.federation.selector, self.resources,
-                                     replicas, from_host=self.host)
+        chain = self.federation.placement.failover_chain(
+            replicas, from_host=self.host)
         src = chain[0]
         src_res = self.resources.physical(src["resource"])
         self._resource_session(src_res)

@@ -12,6 +12,16 @@ The paper's replication claims this module carries:
 * "the consistency of the replicas should be maintained with very little
   effort on the part of the users" (write-one/mark-dirty plus
   :func:`synchronize`).
+
+The choice logic itself now lives in :mod:`repro.policy` — one
+pluggable :class:`~repro.policy.engine.PlacementEngine` per federation
+answers every ordering question (see DESIGN.md, "Placement policy
+engine").  What remains here is the **legacy facade**:
+:class:`ReplicaSelector` and :func:`pick_clean_available` keep their
+historical signatures for direct users (tests, the E3 policy ablation)
+by delegating to the policy classes, and :func:`synchronize` is the
+replica-refresh algorithm, its source choice deferred to the engine
+when one is passed.
 """
 
 from __future__ import annotations
@@ -21,13 +31,14 @@ from typing import Any, Dict, List, Optional
 from repro.errors import ReplicaUnavailable, ReplicationError
 from repro.mcat.catalog import Mcat
 from repro.net.simnet import Network, TransferGroup
+from repro.policy import PlacementContext, PlacementEngine, make_policy
 from repro.storage.resource import ResourceRegistry
 
 SELECTION_POLICIES = ("primary", "round-robin", "random", "nearest")
 
 
 class ReplicaSelector:
-    """Orders an object's replicas for a read attempt.
+    """Orders an object's replicas for a read attempt (legacy facade).
 
     Policies:
 
@@ -38,7 +49,13 @@ class ReplicaSelector:
                      across copies;
     ``random``       deterministic LCG shuffle — statistically spreads
                      load without shared state;
-    ``nearest``      ascending link latency from the reading host.
+    ``nearest``      ascending link latency from the reading host,
+                     ties broken by replica number.
+
+    Each instance owns its policy state (rotation counter, LCG), so a
+    standalone selector orders exactly as it always did; federations no
+    longer build one — ``fed.selector`` answers from the
+    :class:`~repro.policy.engine.PlacementEngine` instead.
     """
 
     def __init__(self, resources: ResourceRegistry, network: Network,
@@ -50,13 +67,7 @@ class ReplicaSelector:
         self.resources = resources
         self.network = network
         self.policy = policy
-        self._rr_counter = 0
-        self._lcg_state = 0x9E3779B9
-
-    def _lcg(self) -> int:
-        self._lcg_state = (self._lcg_state * 6364136223846793005 +
-                           1442695040888963407) % (2**64)
-        return self._lcg_state
+        self._impl = make_policy(policy)
 
     def order(self, replicas: List[Dict[str, Any]],
               from_host: Optional[str] = None) -> List[Dict[str, Any]]:
@@ -65,32 +76,9 @@ class ReplicaSelector:
         reps = sorted(replicas, key=lambda r: r["replica_num"])
         if not reps:
             return []
-        if self.policy == "primary":
-            return reps
-        if self.policy == "round-robin":
-            k = self._rr_counter % len(reps)
-            self._rr_counter += 1
-            return reps[k:] + reps[:k]
-        if self.policy == "random":
-            # Fisher–Yates driven by the LCG: a rotation only ever yields
-            # n of the n! orderings, so replicas adjacent in number stay
-            # adjacent in every chain and load never truly spreads.
-            shuffled = list(reps)
-            for i in range(len(shuffled) - 1, 0, -1):
-                # draw from the high bits: with a 2^64 modulus the low
-                # bit of the LCG strictly alternates, so ``state % 2``
-                # would undo the shuffle for the last swap
-                j = (self._lcg() >> 32) % (i + 1)
-                shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
-            return shuffled
-        if self.policy == "nearest":
-            if from_host is None:
-                return reps
-            def latency(row: Dict[str, Any]) -> float:
-                res = self.resources.physical(row["resource"])
-                return self.network.link(from_host, res.host).latency_s
-            return sorted(reps, key=lambda r: (latency(r), r["replica_num"]))
-        raise ReplicationError(f"unknown policy {self.policy!r}")
+        ctx = PlacementContext(resources=self.resources,
+                               network=self.network, from_host=from_host)
+        return self._impl.order(reps, ctx)
 
 
 def pick_clean_available(selector: ReplicaSelector,
@@ -99,7 +87,12 @@ def pick_clean_available(selector: ReplicaSelector,
                          from_host: Optional[str] = None,
                          allow_dirty: bool = False) -> List[Dict[str, Any]]:
     """The failover chain: ordered replicas that are clean and whose
-    resource is reachable right now.  Raises if the chain is empty."""
+    resource is reachable right now.  Raises if the chain is empty.
+
+    Legacy facade over
+    :meth:`~repro.policy.engine.PlacementEngine.failover_chain`; kept
+    for callers that hold a standalone :class:`ReplicaSelector`.
+    """
     chain = []
     for rep in selector.order(replicas, from_host=from_host):
         if rep["is_dirty"] and not allow_dirty:
@@ -115,7 +108,8 @@ def pick_clean_available(selector: ReplicaSelector,
 
 
 def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
-                oid: int, parallel: bool = False, streams: int = 1) -> int:
+                oid: int, parallel: bool = False, streams: int = 1,
+                placement: Optional[PlacementEngine] = None) -> int:
     """Refresh every dirty replica of ``oid`` from a clean one.
 
     Bytes move clean-resource-host -> dirty-resource-host; returns the
@@ -125,6 +119,11 @@ def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
     the slowest member (makespan) instead of the serial sum.  A member
     whose host fails mid-group is skipped — it stays dirty and does not
     poison its siblings' refresh.
+
+    ``placement`` (the federation's engine) chooses which clean replica
+    sources the refresh: under a static policy the preference is the
+    historical catalog order, under ``observed`` it is the replica with
+    the smallest predicted total push time to the dirty hosts.
     """
     replicas = mcat.replicas(oid)
     clean = [r for r in replicas if not r["is_dirty"]
@@ -135,6 +134,11 @@ def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
         return 0
     if not clean:
         raise ReplicationError(f"object {oid} has no clean replica to sync from")
+    if placement is not None:
+        dirty_hosts = sorted({resources.physical(r["resource"]).host
+                              for r in dirty
+                              if resources.available(r["resource"])})
+        clean = placement.sync_source_order(clean, dirty_hosts)
     source = None
     for rep in clean:
         if resources.available(rep["resource"]):

@@ -556,6 +556,23 @@ def status_page(client: SrbClient) -> str:
                                  "busy (s)", "replicas", "replica busy (s)",
                                  "pending log", "partitioned"],
                                 rows))
+    # the placement engine's measured path history (repro.policy): what
+    # an "observed" policy ranks replicas with
+    path_rows = [(p["src"], p["dst"], p["transfers"],
+                  f"{p['rate_bps']:.0f}" if p["rate_bps"] is not None
+                  else "-",
+                  f"{p['latency_s']:.6f}" if p["latency_s"] is not None
+                  else "-",
+                  p["failures"], f"{p['fail_score']:.3f}")
+                 for p in fed.placement.path_report()]
+    placement_html = ""
+    if path_rows:
+        placement_html = (
+            f"<h4>Placement paths (policy: "
+            f"{H.e(fed.placement.policy_name)})</h4>"
+            + H.table(["src", "dst", "transfers", "rate (B/s)",
+                       "latency (s)", "failures", "fail score"],
+                      path_rows))
     top = ("<h3>Grid status</h3>"
            "<p>Live counters from the federation-wide observability "
            "registry: network, RPC, server, storage and catalog "
@@ -564,6 +581,7 @@ def status_page(client: SrbClient) -> str:
               + H.table(["stat", "value"],
                         [(k, str(v)) for k, v in stat_rows])
               + shard_html
+              + placement_html
               + "<h4>Server ops by plane</h4>"
               + (H.table(["server", "plane", "ops"], plane_rows)
                  if plane_rows else "<p><i>none</i></p>")

@@ -223,6 +223,12 @@ class Network:
         # servers' resource-session cache — keys its entries on this and
         # treats a stale epoch as "the session may have died".
         self.topology_epoch = 0
+        # Passive transfer observers (the placement engine's PathStats).
+        # Notified from the shared accounting funnels below; observers
+        # MUST be cost-free — no clock advance, no messages, no metric
+        # emission — so that watching the wire never changes what the
+        # simulation charges.
+        self._transfer_observers: List["TransferObserver"] = []
 
     # -- topology ----------------------------------------------------------
 
@@ -319,6 +325,20 @@ class Network:
     # counts messages/bytes/failures identically, so the federation-wide
     # stats explain latencies the same way regardless of scheduling.
 
+    def add_transfer_observer(self, observer: "TransferObserver") -> None:
+        """Register a passive observer of every transfer outcome.
+
+        ``observer.observe_transfer(src, dst, nbytes, cost, now)`` fires
+        per delivered message and ``observer.observe_failure(src, dst,
+        now)`` per timed-out attempt.  Observers see the whole shared
+        network — in a cross-zone federation each zone's engine watches
+        all traffic, exactly as its servers experience the paths.
+        """
+        self._transfer_observers.append(observer)
+
+    def remove_transfer_observer(self, observer: "TransferObserver") -> None:
+        self._transfer_observers.remove(observer)
+
     def _count_failure(self, src: str, dst: str) -> None:
         """Counter/metric bookkeeping for one timed-out attempt."""
         self.messages_sent += 1
@@ -327,6 +347,8 @@ class Network:
         self.obs.tracer.add("failed_attempts", 1)
         self.obs.metrics.inc("net.messages", src=src, dst=dst)
         self.obs.metrics.inc("net.failed_attempts", src=src, dst=dst)
+        for observer in self._transfer_observers:
+            observer.observe_failure(src, dst, self.clock.now)
 
     def _count_success(self, src: str, dst: str, nbytes: int,
                        cost: float) -> None:
@@ -338,6 +360,9 @@ class Network:
         self.obs.metrics.inc("net.messages", src=src, dst=dst)
         self.obs.metrics.inc("net.bytes", nbytes, src=src, dst=dst)
         self.obs.metrics.observe("net.transfer_s", cost, src=src, dst=dst)
+        for observer in self._transfer_observers:
+            observer.observe_transfer(src, dst, nbytes, cost,
+                                      self.clock.now)
 
     def transfer(self, src: str, dst: str, nbytes: int = 0,
                  streams: int = 1) -> float:

@@ -1,0 +1,228 @@
+"""The placement engine: every placement decision behind one seam.
+
+Before this module, replica/resource choice was static policy scattered
+across four layers — ``ReplicaSelector`` for read ordering,
+``pick_clean_available`` for the failover chain, the container
+manager's cache-first sort, and caller-picked ``get(stripes=k)``.  A
+:class:`PlacementEngine` lives on the federation
+(``Federation(placement=...)``) and answers all of them, consulting one
+pluggable :class:`~repro.policy.policies.PlacementPolicy` plus the
+federation-wide :class:`~repro.policy.stats.PathStats` history.
+
+The engine registers its ``PathStats`` as a transfer observer on the
+network regardless of policy, so even a federation running a static
+policy accumulates the history an operator can inspect (``Sstat``,
+MySRB ``/status``) before switching to ``placement="observed"``.
+
+Auto-tuned striping: ``choose_stripes`` picks the stripe count for a
+``get(stripes="auto")`` read by minimizing the predicted cost model
+
+    est(k) = sum(probe_i, i<k)  +  max_i<k( predict(path_i, ceil(size/k)) )
+
+— k session-open probes paid serially, then the striped
+:class:`~repro.net.simnet.TransferGroup` charging its slowest member
+(makespan).  More stripes shrink the chunk each path carries but add a
+probe and recruit ever-slower paths; the argmin is the measured knee
+E14 found by hand sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReplicaUnavailable, ReplicationError
+from repro.net.simnet import Network
+from repro.policy.policies import (
+    PLACEMENT_POLICIES,
+    PlacementContext,
+    make_policy,
+)
+from repro.policy.stats import PathStats
+from repro.storage.resource import PhysicalResource, ResourceRegistry
+
+#: Bytes of the session-open probe a server pays per striped path
+#: (mirrors the data plane's resource-session open message).
+PROBE_BYTES = 64
+
+
+class _LegacySelector:
+    """``federation.selector`` compatibility facade.
+
+    Pre-engine code (and tests) read ``fed.selector.policy`` and called
+    ``fed.selector.order(...)``; both now answer from the engine so
+    there is exactly one copy of the policy state per federation.
+    """
+
+    def __init__(self, engine: "PlacementEngine"):
+        self._engine = engine
+
+    @property
+    def policy(self) -> str:
+        return self._engine.policy_name
+
+    def order(self, replicas: List[Dict[str, Any]],
+              from_host: Optional[str] = None) -> List[Dict[str, Any]]:
+        return self._engine.order_replicas(replicas, from_host=from_host)
+
+
+class PlacementEngine:
+    """One federation's placement brain."""
+
+    def __init__(self, resources: ResourceRegistry, network: Network,
+                 policy: str = "primary",
+                 stats: Optional[PathStats] = None):
+        if policy not in PLACEMENT_POLICIES:
+            raise ReplicationError(
+                f"unknown placement policy {policy!r}; "
+                f"choose from {PLACEMENT_POLICIES}")
+        self.resources = resources
+        self.network = network
+        self.obs = network.obs
+        self.clock = network.clock
+        self.stats = stats if stats is not None else PathStats()
+        network.add_transfer_observer(self.stats)
+        self.policy = make_policy(policy)
+        self.legacy_selector = _LegacySelector(self)
+
+    @property
+    def policy_name(self) -> str:
+        return self.policy.name
+
+    def _ctx(self, from_host: Optional[str],
+             size_hint: Optional[int] = None) -> PlacementContext:
+        return PlacementContext(resources=self.resources,
+                                network=self.network, stats=self.stats,
+                                from_host=from_host, size_hint=size_hint,
+                                now=self.clock.now)
+
+    def _count(self, kind: str) -> None:
+        self.obs.metrics.inc("policy.decisions", policy=self.policy_name,
+                             kind=kind)
+
+    # -- read path ------------------------------------------------------
+
+    def order_replicas(self, replicas: List[Dict[str, Any]],
+                       from_host: Optional[str] = None,
+                       size_hint: Optional[int] = None
+                       ) -> List[Dict[str, Any]]:
+        """Replicas in preferred access order (drops none: the tail is
+        the failover chain)."""
+        reps = sorted(replicas, key=lambda r: r["replica_num"])
+        if not reps:
+            return []
+        self._count("read-order")
+        return self.policy.order(reps, self._ctx(from_host, size_hint))
+
+    def failover_chain(self, replicas: List[Dict[str, Any]],
+                       from_host: Optional[str] = None,
+                       allow_dirty: bool = False,
+                       size_hint: Optional[int] = None
+                       ) -> List[Dict[str, Any]]:
+        """Ordered replicas that are clean and whose resource is
+        reachable right now.  Raises if the chain is empty."""
+        chain = []
+        for rep in self.order_replicas(replicas, from_host=from_host,
+                                       size_hint=size_hint):
+            if rep["is_dirty"] and not allow_dirty:
+                continue
+            if not self.resources.available(rep["resource"]):
+                continue
+            chain.append(rep)
+        if not chain:
+            raise ReplicaUnavailable(
+                "no clean replica on an available resource "
+                f"(of {len(replicas)} replicas)")
+        return chain
+
+    def order_container_replicas(self, replicas: List[Dict[str, Any]],
+                                 from_host: Optional[str] = None
+                                 ) -> List[Dict[str, Any]]:
+        """Container replicas, cache (non-archive) resources first.
+
+        The tier split is policy-independent — a tape mount never beats
+        a disk cache on measured bandwidth alone — but within a tier a
+        measurement-driven policy may re-rank by predicted path cost.
+        """
+        def tier(row: Dict[str, Any]) -> int:
+            res = self.resources.physical(row["resource"])
+            return 1 if res.rtype == "archive" else 0
+
+        base = sorted(replicas,
+                      key=lambda r: (tier(r), r["replica_num"]))
+        if not self.policy.reorders_containers or from_host is None:
+            return base
+        ctx = self._ctx(from_host)
+        out: List[Dict[str, Any]] = []
+        for t in (0, 1):
+            out.extend(self.policy.order(
+                [r for r in base if tier(r) == t], ctx))
+        return out
+
+    # -- write path -----------------------------------------------------
+
+    def order_resources(self, res_list: Sequence[PhysicalResource],
+                        from_host: Optional[str] = None,
+                        size_hint: Optional[int] = None
+                        ) -> List[PhysicalResource]:
+        """Destination order for ingest/replicate fan-out; the first
+        destination becomes the primary (lowest-numbered) replica."""
+        if len(res_list) > 1:
+            self._count("write-order")
+        return self.policy.order_resources(
+            res_list, self._ctx(from_host, size_hint))
+
+    def sync_source_order(self, clean: List[Dict[str, Any]],
+                          dirty_hosts: Sequence[str],
+                          size_hint: Optional[int] = None
+                          ) -> List[Dict[str, Any]]:
+        """Preference order for the clean replica ``synchronize``
+        refreshes every dirty copy from."""
+        return self.policy.source_order(
+            list(clean), list(dirty_hosts), self._ctx(None, size_hint))
+
+    # -- striping -------------------------------------------------------
+
+    def choose_stripes(self, candidates: Sequence[PhysicalResource],
+                       size: int,
+                       from_host: Optional[str] = None) -> int:
+        """Stripe count for a ``get(stripes="auto")`` read.
+
+        ``candidates`` are the usable striped sources — clean replicas
+        on distinct remote hosts, in policy-preferred order.  Minimizes
+        the probes + makespan model (module docstring) over k; ties go
+        to fewer stripes.
+        """
+        if size <= 0 or len(candidates) < 2:
+            return 1
+        ctx = self._ctx(from_host)
+        probes = [ctx.predict_s(from_host, res.host, PROBE_BYTES)
+                  for res in candidates]
+        pulls = [lambda nbytes, res=res: (
+                     ctx.predict_s(res.host, from_host, nbytes)
+                     * (1.0 + ctx.failure_score(res.host, from_host)))
+                 for res in candidates]
+        best_k, best_est = 1, None
+        for k in range(1, len(candidates) + 1):
+            chunk = -(-size // k)        # ceil division
+            est = sum(probes[:k]) + max(p(chunk) for p in pulls[:k])
+            if best_est is None or est < best_est - 1e-12:
+                best_k, best_est = k, est
+        self._count("auto-stripe")
+        self.obs.metrics.inc("policy.auto_stripes", k=str(best_k))
+        return best_k
+
+    # -- introspection --------------------------------------------------
+
+    def path_report(self) -> List[Dict[str, Any]]:
+        return self.stats.report()
+
+    def summary(self) -> Dict[str, Any]:
+        """Keys merged into ``Federation.stats()``."""
+        metrics = self.obs.metrics
+        return {
+            "placement": self.policy_name,
+            "placement_paths": self.stats.path_count(),
+            "placement_decisions": int(metrics.total("policy.decisions")),
+            "placement_auto_stripe_picks": int(
+                metrics.total("policy.auto_stripes")),
+        }

@@ -452,6 +452,18 @@ class Shell:
                 f"busy_s={s['busy_s']:.6f} replicas={s['replicas']} "
                 f"pending={s['pending']} partitioned={s['partitioned']}"
                 for s in shard_stats())
+        paths_seen = fed.placement.path_report()
+        if paths_seen:
+            def fmt(v, spec):
+                return format(v, spec) if v is not None else "-"
+            summary += "\n" + "\n".join(
+                f"path {p['src']}->{p['dst']}: "
+                f"transfers={p['transfers']} "
+                f"rate_bps={fmt(p['rate_bps'], '.0f')} "
+                f"latency_s={fmt(p['latency_s'], '.6f')} "
+                f"failures={p['failures']} "
+                f"fail_score={p['fail_score']:.3f}"
+                for p in paths_seen)
         return summary + ("\n\n" + rendered if rendered else "")
 
     @_usage("Strace <Scommand ...>   (run a command, print its span tree)")

@@ -1,0 +1,137 @@
+"""Property tests for the placement predictor (``repro.policy.stats``).
+
+Three properties the ``observed`` policy's correctness rests on:
+
+* the EWMA never leaves the envelope of its samples;
+* the failure score decays monotonically in virtual time (and halves
+  every half-life);
+* the ranking ``predict_s`` induces over paths is stable under any
+  permutation of identical observations — history order across *paths*
+  must not matter when the per-path evidence is the same.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.simnet import WAN, LinkSpec
+from repro.policy import Ewma, PathStats
+
+positive_floats = st.floats(min_value=1e-3, max_value=1e9,
+                            allow_nan=False, allow_infinity=False)
+
+
+class TestEwmaBounds:
+    @given(samples=st.lists(positive_floats, min_size=1, max_size=60),
+           alpha=st.floats(min_value=0.01, max_value=1.0))
+    def test_value_within_observed_min_max(self, samples, alpha):
+        ewma = Ewma(alpha=alpha)
+        for s in samples:
+            ewma.update(s)
+        lo, hi = min(samples), max(samples)
+        # convex combination: stays inside the sample envelope (modulo
+        # one ulp of float rounding)
+        assert ewma.value >= lo * (1 - 1e-12)
+        assert ewma.value <= hi * (1 + 1e-12)
+        assert ewma.count == len(samples)
+        assert ewma.min == lo and ewma.max == hi
+
+    @given(sample=positive_floats)
+    def test_first_sample_is_the_value(self, sample):
+        ewma = Ewma(alpha=0.3)
+        ewma.update(sample)
+        assert ewma.value == sample
+
+
+class TestFailureDecay:
+    @given(fail_times=st.lists(
+               st.floats(min_value=0.0, max_value=1e5,
+                         allow_nan=False, allow_infinity=False),
+               min_size=1, max_size=10),
+           offsets=st.tuples(
+               st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+               st.floats(min_value=0.0, max_value=1e6, allow_nan=False)),
+           half_life=st.floats(min_value=1.0, max_value=1e4))
+    def test_monotone_in_virtual_time(self, fail_times, offsets,
+                                      half_life):
+        stats = PathStats(failure_half_life_s=half_life)
+        for t in sorted(fail_times):
+            stats.observe_failure("a", "b", now=t)
+        t_last = max(fail_times)
+        d1, d2 = min(offsets), max(offsets)
+        early = stats.failure_score("a", "b", t_last + d1)
+        late = stats.failure_score("a", "b", t_last + d2)
+        assert early >= late >= 0.0
+
+    def test_halves_every_half_life(self):
+        stats = PathStats(failure_half_life_s=100.0)
+        stats.observe_failure("a", "b", now=50.0)
+        s0 = stats.failure_score("a", "b", 50.0)
+        assert s0 == 1.0
+        assert math.isclose(stats.failure_score("a", "b", 150.0), 0.5)
+        assert math.isclose(stats.failure_score("a", "b", 250.0), 0.25)
+
+    def test_each_failure_adds_one_to_the_decayed_score(self):
+        stats = PathStats(failure_half_life_s=100.0)
+        stats.observe_failure("a", "b", now=0.0)
+        stats.observe_failure("a", "b", now=100.0)   # 0.5 decayed + 1
+        assert math.isclose(stats.failure_score("a", "b", 100.0), 1.5)
+
+    def test_unknown_path_scores_zero(self):
+        stats = PathStats()
+        assert stats.failure_score("x", "y", 123.0) == 0.0
+
+
+class TestRankingPermutationStable:
+    @given(data=st.data(),
+           n_paths=st.integers(min_value=2, max_value=6))
+    @settings(max_examples=50)
+    def test_rank_invariant_under_observation_order(self, data, n_paths):
+        """Identical per-path observations, any interleaving: same
+        ranking."""
+        nbytes = 1_000_000
+        observations = []
+        for i in range(n_paths):
+            rate = 1e6 * (i + 1)
+            repeats = data.draw(st.integers(min_value=1, max_value=4),
+                                label=f"repeats[{i}]")
+            observations += [(f"h{i}", "dst", nbytes, nbytes / rate)] \
+                * repeats
+        shuffled = data.draw(st.permutations(observations),
+                             label="interleaving")
+
+        def rank(obs_seq):
+            stats = PathStats()
+            for src, dst, size, cost in obs_seq:
+                stats.observe_transfer(src, dst, size, cost, now=0.0)
+            return sorted(
+                (f"h{i}" for i in range(n_paths)),
+                key=lambda h: stats.predict_s(h, "dst", nbytes,
+                                              fallback=WAN))
+
+        assert rank(observations) == rank(shuffled)
+
+
+class TestPredict:
+    def test_unseen_path_uses_the_fallback_prior(self):
+        stats = PathStats()
+        prior = LinkSpec(latency_s=0.01, bandwidth_bps=1e6)
+        assert stats.predict_s("a", "b", 1_000_000, fallback=prior) \
+            == 0.01 + 1.0
+
+    def test_measured_path_beats_the_prior_when_faster(self):
+        stats = PathStats()
+        nbytes = 1_000_000
+        for _ in range(5):
+            stats.observe_transfer("fast", "dst", nbytes, nbytes / 2e7,
+                                   now=0.0)
+        assert stats.predict_s("fast", "dst", nbytes, fallback=WAN) \
+            < WAN.cost(nbytes)
+
+    def test_small_messages_feed_latency_not_rate(self):
+        stats = PathStats()
+        stats.observe_transfer("a", "b", 64, 0.04, now=0.0)
+        rec = stats._paths[("a", "b")]
+        assert rec.latency.value == 0.04
+        assert rec.rate.value is None

@@ -11,7 +11,7 @@ commit" without digging through logs.
 Usage: python tools/bench_summary.py [--check]
 
 ``--check`` additionally exits non-zero when an expected experiment
-(E12, E13, E14, E15, E16) has no headline file — i.e. the benchmarks job
+(E12 through E18) has no headline file — i.e. the benchmarks job
 did not actually run the perf experiments it is supposed to guard.
 """
 
@@ -23,7 +23,7 @@ import sys
 
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.dirname(
     os.path.abspath(__file__))), "benchmarks", "output")
-EXPECTED = ("e12", "e13", "e14", "e15", "e16", "e17")
+EXPECTED = ("e12", "e13", "e14", "e15", "e16", "e17", "e18")
 
 
 def main(argv) -> int:

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Lint the plane services against the dispatch pipeline contract.
 
-Four rules keep the refactored server honest (see DESIGN.md, "SRB
-server architecture"):
+Five rules keep the refactored server honest (see DESIGN.md, "SRB
+server architecture" and "Placement policy engine"):
 
 1. **Every public plane-service method is a declared op.**  The RPC
    surface is exactly the ``@rpc_op``-decorated methods; a public method
@@ -35,6 +35,16 @@ server architecture"):
    that calls an unbounded enumerator must take ``limit``/``cursor``
    parameters or appear in the frozen legacy allowlist (which must
    only ever shrink).
+
+5. **Replica choice goes through the placement engine.**  Ordering or
+   filtering replicas is ``repro.policy``'s job; code elsewhere in
+   ``src/repro`` that instantiates the legacy ``ReplicaSelector``, calls
+   ``pick_clean_available`` directly, reaches for a federation's raw
+   ``.selector`` attribute, or hand-sorts rows by ``"replica_num"``
+   re-opens the seam the engine closed — such code would not see the
+   observed-stats policy, quarantine or auto-striping.  The legacy
+   facade files that *define* the compatibility surface are allowlisted;
+   the allowlist is frozen and must only ever shrink.
 
 Run from the repository root::
 
@@ -196,9 +206,62 @@ def check_query_ops_paged() -> List[str]:
     return errors
 
 
+#: Legacy facade files allowed to touch the pre-engine selection
+#: surface: the facade itself, its package re-export, and the
+#: federation module that wires the engine + compat adapter.  Frozen:
+#: entries may be removed as facades retire, never added.
+PLACEMENT_SEAM_ALLOWLIST = {
+    "src/repro/core/replication.py",
+    "src/repro/core/__init__.py",
+    "src/repro/core/federation.py",
+    # canonical catalog row order, not a placement choice
+    "src/repro/mcat/catalog.py",
+}
+
+#: Names whose appearance outside repro.policy marks an ad-hoc chooser.
+PLACEMENT_SEAM_NAMES = {"ReplicaSelector", "pick_clean_available"}
+
+
+def check_placement_seam() -> List[str]:
+    """Rule 5: replica choice outside ``repro.policy`` is banned."""
+    errors = []
+    src_repro = ROOT / "src" / "repro"
+    for path in sorted(src_repro.rglob("*.py")):
+        rel = path.relative_to(ROOT).as_posix()
+        if rel.startswith("src/repro/policy/") \
+                or rel in PLACEMENT_SEAM_ALLOWLIST:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) \
+                    and node.id in PLACEMENT_SEAM_NAMES:
+                errors.append(
+                    f"{rel}:{node.lineno}: {node.id} outside "
+                    f"repro.policy — route the choice through the "
+                    f"federation's PlacementEngine")
+            elif isinstance(node, ast.Attribute) \
+                    and node.attr == "selector":
+                errors.append(
+                    f"{rel}:{node.lineno}: .selector attribute access "
+                    f"— the adapter exists for external callers only; "
+                    f"internal code uses the PlacementEngine")
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Name)
+                  and node.func.id == "sorted"
+                  and any(isinstance(sub, ast.Constant)
+                          and sub.value == "replica_num"
+                          for sub in ast.walk(node))):
+                errors.append(
+                    f"{rel}:{node.lineno}: ad-hoc sorted(...) by "
+                    f"'replica_num' — replica ordering belongs to "
+                    f"repro.policy")
+    return errors
+
+
 def main() -> int:
     errors = (check_public_methods_declared() + check_no_inline_plumbing()
-              + check_mcat_via_property() + check_query_ops_paged())
+              + check_mcat_via_property() + check_query_ops_paged()
+              + check_placement_seam())
     if errors:
         print(f"lint_dispatch: {len(errors)} violation(s)")
         for err in errors:
