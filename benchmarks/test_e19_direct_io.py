@@ -1,0 +1,167 @@
+"""E19 — extension: direct data channels cut the server out of the data path.
+
+Paper claim (Section 3, SRB server): in the classic deployment "the
+SRB agent" brokers every byte — a remote get pays resource→server and
+server→client, a remote ingest pays the mirror image.  The paper's
+third-party-transfer lineage (SRB's Sphymove, GridFTP) moves the bytes
+once, source→sink, with the server only issuing the control-plane
+redirect.  ``Federation(direct_io=True)`` reproduces that: data ops
+reply with a signed one-shot channel descriptor and the bytes travel
+the real path, charged once.
+
+Reproduced series:
+  (a) WAN bytes per remote get and per remote ingest, pass-through vs
+      direct, all hosts on the default WAN: the two-crossing pattern
+      collapses to one, so the byte ratio approaches 2x (>= 1.8x after
+      control-message overhead);
+  (b) makespan of a mixed get/ingest workload on a client-far topology
+      (client and resource share a WAN; the server sits across a
+      TRANSCON link): pass-through detours every byte over the slow
+      link twice, direct pays it only for control messages;
+  (c) parity guard: with ``direct_io=False`` the channel plumbing
+      costs exactly 0.0 — byte-for-byte and second-for-second
+      identical to a federation built without the knob at all.
+"""
+
+from repro.bench import ResultTable
+from repro.core import Federation, SrbClient
+from repro.net.simnet import TRANSCON, WAN
+
+from helpers import record_json, record_table
+
+COLL = "/demozone/bench"
+PAYLOAD = b"direct-io" * 120_000         # ~1 MB, dwarfs control msgs
+N_OPS = 8
+
+
+def build(direct: bool, far_server: bool = False,
+          explicit_kwarg: bool = True):
+    """Client on hc, server on hs, storage resource on hr.
+
+    ``far_server=False``: every link is the default WAN.
+    ``far_server=True``: hs sits across a TRANSCON link from both hc
+    and hr, while hc—hr keep the faster WAN — the server is a detour.
+    """
+    kwargs = {} if not explicit_kwarg else {"direct_io": direct}
+    fed = Federation(zone="demozone", **kwargs)
+    for h in ("hs", "hr", "hc"):
+        fed.add_host(h)
+    if far_server:
+        fed.network.set_link("hs", "hc", TRANSCON)
+        fed.network.set_link("hs", "hr", TRANSCON)
+        fed.network.set_link("hc", "hr", WAN)
+    fed.add_server("s0", "hs", mcat=True)
+    fed.add_fs_resource("fs0", "hr")
+    fed.default_resource = "fs0"
+    fed.bootstrap_admin()
+    client = SrbClient(fed, "hc", "s0", "srbadmin@sdsc", "hunter2")
+    client.login()
+    client.mkcoll(COLL)
+    return fed, client
+
+
+def measure_single_ops(direct: bool):
+    """WAN bytes for one remote ingest and one remote get."""
+    fed, client = build(direct)
+    b0 = fed.network.bytes_sent
+    client.ingest(f"{COLL}/one.dat", PAYLOAD)
+    ingest_bytes = fed.network.bytes_sent - b0
+    b0 = fed.network.bytes_sent
+    assert client.get(f"{COLL}/one.dat") == PAYLOAD
+    get_bytes = fed.network.bytes_sent - b0
+    return ingest_bytes, get_bytes
+
+
+def run_workload(fed, client):
+    """N ingests + N gets; returns the virtual makespan."""
+    t0 = fed.clock.now
+    for i in range(N_OPS):
+        client.ingest(f"{COLL}/w{i}.dat", PAYLOAD)
+    for i in range(N_OPS):
+        assert client.get(f"{COLL}/w{i}.dat") == PAYLOAD
+    return fed.clock.now - t0
+
+
+def test_e19_wan_bytes_per_op(benchmark):
+    """(a) bytes on the wire per remote get/ingest drop ~2x."""
+    pas_ingest, pas_get = measure_single_ops(direct=False)
+    dir_ingest, dir_get = measure_single_ops(direct=True)
+    ratio_ingest = pas_ingest / dir_ingest
+    ratio_get = pas_get / dir_get
+
+    table = ResultTable(
+        "E19a WAN bytes per operation (pass-through vs direct)",
+        ["op", "pass-through (B)", "direct (B)", "ratio"])
+    table.add_row(["ingest", pas_ingest, dir_ingest,
+                   f"{ratio_ingest:.2f}x"])
+    table.add_row(["get", pas_get, dir_get, f"{ratio_get:.2f}x"])
+    record_table(benchmark, table)
+
+    assert ratio_ingest >= 1.8, (
+        f"direct ingest should shed the server crossing: {ratio_ingest}")
+    assert ratio_get >= 1.8, (
+        f"direct get should shed the server crossing: {ratio_get}")
+    record_json("e19", {
+        "wan_bytes_ratio_ingest": round(ratio_ingest, 3),
+        "wan_bytes_ratio_get": round(ratio_get, 3),
+    })
+    if benchmark is not None:
+        benchmark.pedantic(lambda: measure_single_ops(True),
+                           rounds=1, iterations=1)
+
+
+def test_e19_far_server_makespan(benchmark):
+    """(b) when the server is a detour, direct wins the makespan."""
+    fed_p, cli_p = build(direct=False, far_server=True)
+    fed_d, cli_d = build(direct=True, far_server=True)
+    passthrough_s = run_workload(fed_p, cli_p)
+    direct_s = run_workload(fed_d, cli_d)
+    speedup = passthrough_s / direct_s
+
+    table = ResultTable(
+        "E19b mixed workload makespan, server across TRANSCON",
+        ["mode", "makespan (s)", "direct bytes", "channels"])
+    table.add_row(["pass-through", passthrough_s, 0, 0])
+    table.add_row(["direct", direct_s,
+                   fed_d.stats()["direct_bytes"],
+                   fed_d.stats()["direct_channels"]])
+    record_table(benchmark, table)
+
+    assert speedup > 1.0, (
+        f"direct must beat the server detour: {speedup}")
+    assert fed_d.stats()["direct_channels"] >= 2 * N_OPS
+    assert fed_d.stats()["redirects_denied"] == 0
+    record_json("e19", {
+        "far_server_makespan_speedup": round(speedup, 3),
+        "far_server_passthrough_s": round(passthrough_s, 4),
+        "far_server_direct_s": round(direct_s, 4),
+    })
+    if benchmark is not None:
+        benchmark.pedantic(
+            lambda: run_workload(*build(direct=True, far_server=True)),
+            rounds=1, iterations=1)
+
+
+def test_e19_direct_off_parity(benchmark):
+    """(c) the knob off costs exactly nothing."""
+    fed_base, cli_base = build(direct=False, explicit_kwarg=False)
+    fed_off, cli_off = build(direct=False, explicit_kwarg=True)
+    base_s = run_workload(fed_base, cli_base)
+    off_s = run_workload(fed_off, cli_off)
+
+    delta_s = abs(off_s - base_s)
+    delta_bytes = abs(fed_off.network.bytes_sent
+                      - fed_base.network.bytes_sent)
+    delta_msgs = abs(fed_off.network.messages_sent
+                     - fed_base.network.messages_sent)
+    assert delta_s == 0.0 and delta_bytes == 0 and delta_msgs == 0, (
+        f"direct_io=False must be free: ds={delta_s} "
+        f"db={delta_bytes} dm={delta_msgs}")
+    assert fed_off.stats()["direct_channels"] == 0
+    record_json("e19", {
+        "direct_off_parity_delta": delta_s + delta_bytes + delta_msgs,
+    })
+    if benchmark is not None:
+        benchmark.pedantic(
+            lambda: run_workload(*build(direct=False)),
+            rounds=1, iterations=1)

@@ -47,9 +47,9 @@ def _grid_costs(fed):
              "acl_denials")}
 
 
-def scenario_e2_failover():
+def scenario_e2_failover(**fed_kwargs):
     """E2's core series: healthy read, failover read, exhausted read."""
-    fed = flat_fed(n_hosts=3)
+    fed = flat_fed(n_hosts=3, **fed_kwargs)
     client = admin_client(fed)
     client.ingest(PATH, b"irreplaceable" * 100, resource="fs1")
     client.replicate(PATH, "fs2")
@@ -74,8 +74,14 @@ def scenario_e2_failover():
     return out
 
 
-def scenario_e4_catalog():
-    """E4's core series: indexed vs scan attribute query at one size."""
+def scenario_e4_catalog(**fed_kwargs):
+    """E4's core series: indexed vs scan attribute query at one size.
+
+    Pure-catalog scenario: there is no federation to pass
+    ``fed_kwargs`` to, so the direct_io-off parity run exercises it
+    unchanged (the channel seam cannot touch catalog-only costs).
+    """
+    del fed_kwargs
     mcat = Mcat(clock=SimClock())
     mcat.create_collection("/demozone/survey", "bench@sdsc", now=0.0)
     for f in survey_files(120):
@@ -99,9 +105,9 @@ def scenario_e4_catalog():
     return out
 
 
-def scenario_e13_bulk():
+def scenario_e13_bulk(**fed_kwargs):
     """E13's core series: bulk vs per-file ingest/get/metadata-query."""
-    fed = flat_fed(n_hosts=2)
+    fed = flat_fed(n_hosts=2, **fed_kwargs)
     client = admin_client(fed)
     from repro.core import SrbClient
     remote = SrbClient(fed, "h1", "s0", "srbadmin@sdsc", "hunter2")
@@ -137,7 +143,7 @@ def scenario_e13_bulk():
     return out
 
 
-def scenario_e3_policies():
+def scenario_e3_policies(**fed_kwargs):
     """E3's core series: reads under each static selection policy.
 
     Exercises the selector state machines (round-robin counter, LCG
@@ -146,7 +152,8 @@ def scenario_e3_policies():
     state shows up as a virtual-time / message-count drift."""
     out = {}
     for policy in ("primary", "round-robin", "random", "nearest"):
-        fed = flat_fed(n_hosts=4, selection_policy=policy)
+        fed = flat_fed(n_hosts=4, selection_policy=policy,
+                       **fed_kwargs)
         client = admin_client(fed)
         client.ingest(PATH, b"balanced" * 2000, resource="fs1")
         for res in ("fs2", "fs3"):
@@ -159,9 +166,9 @@ def scenario_e3_policies():
     return out
 
 
-def scenario_e14_striped():
+def scenario_e14_striped(**fed_kwargs):
     """E14's core striped-read series: fan-out ingest + k-striped gets."""
-    fed = flat_fed(n_hosts=5, parallel_fanout=True)
+    fed = flat_fed(n_hosts=5, parallel_fanout=True, **fed_kwargs)
     client = admin_client(fed)
     fed.add_logical_resource("all", [f"fs{i}" for i in range(1, 5)])
     t0 = fed.clock.now
@@ -204,6 +211,32 @@ def test_refactor_parity(name):
         f"{name}: op counts / virtual-time latencies drifted from the "
         f"pre-refactor recording.\nrecorded: {recorded[name]}\n"
         f"replayed: {replayed}")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_direct_io_off_parity(name):
+    """The redirect plumbing must cost exactly 0.0 when disabled.
+
+    Re-runs every parity scenario with ``direct_io=False`` passed
+    *explicitly* (not just defaulted) and asserts the full cost surface
+    — charged virtual seconds, message and byte counts, op counts —
+    is byte-identical to the pre-channel recordings.  Any nonzero
+    delta means the channel seam (deferred payloads, redirect checks,
+    broker wiring) leaks cost into the pass-through path.
+    """
+    with open(RECORDINGS) as fh:
+        recorded = json.load(fh)
+    assert name in recorded, f"no recording for {name}; regenerate"
+    replayed = _normalize(SCENARIOS[name](direct_io=False))
+    for key in ("virtual_time_s", "messages", "bytes_on_wire"):
+        if key in recorded[name]:
+            delta = replayed[key] - recorded[name][key]
+            assert delta == 0.0, (
+                f"{name}: direct_io=False {key} drifted by {delta} — "
+                f"the redirect plumbing must be free when disabled")
+    assert replayed == recorded[name], (
+        f"{name}: direct_io=False cost surface drifted from the "
+        f"recording.\nrecorded: {recorded[name]}\nreplayed: {replayed}")
 
 
 if __name__ == "__main__":

@@ -1,11 +1,14 @@
 """Authentication: users/domains/groups, SSO proxy tickets, web sessions."""
 
 from repro.auth.users import PUBLIC, ROLES, Principal, UserRegistry
-from repro.auth.tickets import DEFAULT_TICKET_LIFETIME_S, Ticket, TicketAuthority
+from repro.auth.tickets import (DEFAULT_CHANNEL_LIFETIME_S,
+                                DEFAULT_TICKET_LIFETIME_S, ChannelTicket,
+                                Ticket, TicketAuthority)
 from repro.auth.sessions import DEFAULT_SESSION_LIFETIME_S, Session, SessionManager
 
 __all__ = [
     "Principal", "UserRegistry", "PUBLIC", "ROLES",
     "Ticket", "TicketAuthority", "DEFAULT_TICKET_LIFETIME_S",
+    "ChannelTicket", "DEFAULT_CHANNEL_LIFETIME_S",
     "Session", "SessionManager", "DEFAULT_SESSION_LIFETIME_S",
 ]

@@ -30,10 +30,19 @@ from repro.util.clock import SimClock
 
 DEFAULT_TICKET_LIFETIME_S = 8 * 3600.0
 
+#: Channel descriptors are short-lived: one data transfer, not a session.
+DEFAULT_CHANNEL_LIFETIME_S = 300.0
+
 
 def _sign(zone_key: str, payload: str) -> str:
     return hmac.new(zone_key.encode(), payload.encode(),
                     hashlib.sha256).hexdigest()
+
+
+def _channel_error(reason: str, message: str) -> InvalidTicket:
+    exc = InvalidTicket(message)
+    exc.reason = reason
+    return exc
 
 
 @dataclass(frozen=True)
@@ -49,6 +58,37 @@ class Ticket:
 
     def payload(self) -> str:
         return f"{self.principal}|{self.zone}|{self.audience}|{self.issued_at}|{self.expires_at}"
+
+
+@dataclass(frozen=True)
+class ChannelTicket:
+    """A signed one-shot capability: move ``nbytes`` from ``src`` to ``dst``.
+
+    This is the third leg of the paper's seamless-authentication chain
+    applied to *data movement*: instead of proxying the bytes through the
+    brokering server, the server hands the client a descriptor naming the
+    storage endpoint, the path key and the size, signed with the zone key.
+    The endpoint redeems it exactly once; it dies with the virtual clock
+    (``expires_at``) and with topology churn (``epoch`` must still match
+    ``Network.topology_epoch`` at redemption, so a descriptor issued
+    before a partition/set_down/heal cannot be replayed across it).
+    """
+
+    channel_id: int
+    src: str              # host the bytes leave from
+    dst: str              # host the bytes land on
+    nbytes: int
+    path_key: str         # physical path (or op label) the bytes belong to
+    zone: str
+    epoch: int            # Network.topology_epoch at issue time
+    issued_at: float
+    expires_at: float
+    signature: str
+
+    def payload(self) -> str:
+        return (f"{self.channel_id}|{self.src}|{self.dst}|{self.nbytes}|"
+                f"{self.path_key}|{self.zone}|{self.epoch}|"
+                f"{self.issued_at}|{self.expires_at}")
 
 
 class TicketAuthority:
@@ -68,6 +108,9 @@ class TicketAuthority:
         # zone -> key of *trusted* foreign zones (cross-zone federation):
         # their tickets validate here, carrying their own principals.
         self._trusted: dict = {}
+        # one-shot channel descriptors: monotonic ids + redeemed set
+        self._channel_seq = 0
+        self._redeemed_channels: set = set()
 
     # -- cross-zone trust ---------------------------------------------------
 
@@ -126,6 +169,51 @@ class TicketAuthority:
             raise InvalidTicket(
                 f"ticket audience {ticket.audience!r} does not cover {audience!r}")
         return Principal.parse(ticket.principal)
+
+    # -- one-shot data-channel descriptors ----------------------------------
+
+    def issue_channel(self, src: str, dst: str, nbytes: int, path_key: str,
+                      epoch: int,
+                      lifetime_s: float = DEFAULT_CHANNEL_LIFETIME_S
+                      ) -> ChannelTicket:
+        """Sign a one-shot descriptor authorizing one src→dst transfer."""
+        now = self.clock.now
+        self._channel_seq += 1
+        t = ChannelTicket(
+            channel_id=self._channel_seq, src=src, dst=dst,
+            nbytes=int(nbytes), path_key=path_key, zone=self.zone,
+            epoch=int(epoch), issued_at=now, expires_at=now + lifetime_s,
+            signature="")
+        signed = replace(t, signature=_sign(self._key, t.payload()))
+        self.issued += 1
+        return signed
+
+    def redeem_channel(self, ticket: ChannelTicket, epoch: int) -> None:
+        """Consume a channel descriptor (exactly once, while still fresh).
+
+        Raises :class:`InvalidTicket` with a ``reason`` attribute
+        (``signature``/``zone``/``expired``/``epoch``/``reused``) so the
+        broker can label its ``srb.redirect.denied`` metric.
+        """
+        self.validated += 1
+        if ticket.zone != self.zone:
+            raise _channel_error(
+                "zone", f"channel zone {ticket.zone!r} != {self.zone!r}")
+        expected = _sign(self._key, ticket.payload())
+        if not hmac.compare_digest(expected, ticket.signature):
+            raise _channel_error("signature", "channel signature mismatch")
+        if self.clock.now >= ticket.expires_at:
+            raise _channel_error(
+                "expired", f"channel expired at {ticket.expires_at} "
+                f"(now {self.clock.now})")
+        if int(epoch) != ticket.epoch:
+            raise _channel_error(
+                "epoch", f"channel issued at topology epoch {ticket.epoch}, "
+                f"network is now at {epoch}")
+        if ticket.channel_id in self._redeemed_channels:
+            raise _channel_error(
+                "reused", f"channel {ticket.channel_id} already redeemed")
+        self._redeemed_channels.add(ticket.channel_id)
 
     def delegate(self, ticket: Ticket, audience: str) -> Ticket:
         """Narrow a ``*`` ticket to a specific resource audience.

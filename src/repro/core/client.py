@@ -54,6 +54,21 @@ class SrbClient:
             self.client_host, self._server_host,
             f"srb:{self.server_name}", method, **kwargs)
 
+    def _defer(self, data: Any) -> Any:
+        """Wrap a write payload for direct I/O.
+
+        With ``Federation(direct_io=True)`` the payload bytes stay on
+        this client host: the request carries a
+        :class:`~repro.net.wire.DeferredPayload` claim token instead of
+        the bytes, and the server moves them once, client→resource,
+        over a brokered channel.  Off (the default), the bytes ride the
+        request exactly as they always did.
+        """
+        if data is None or not self.federation.direct_io:
+            return data
+        from repro.net.wire import DeferredPayload
+        return DeferredPayload(data)
+
     def connect(self, server_name: str) -> None:
         """Switch to a different SRB server; the SSO ticket stays valid
         ("users can connect to any SRB server")."""
@@ -127,7 +142,8 @@ class SrbClient:
                container: Optional[str] = None,
                data_type: Optional[str] = None,
                metadata: Optional[Dict[str, str]] = None) -> int:
-        return self._call("ingest", ticket=self.ticket, path=path, data=data,
+        return self._call("ingest", ticket=self.ticket, path=path,
+                          data=self._defer(data),
                           resource=resource, container=container,
                           data_type=data_type, metadata=metadata)
 
@@ -148,7 +164,8 @@ class SrbClient:
                           sql_remainder=sql_remainder, **kwargs)
 
     def put(self, path: str, data: bytes) -> None:
-        return self._call("put", ticket=self.ticket, path=path, data=data)
+        return self._call("put", ticket=self.ticket, path=path,
+                          data=self._defer(data))
 
     def delete(self, path: str, replica_num: Optional[int] = None) -> None:
         return self._call("delete", ticket=self.ticket, path=path,
@@ -166,8 +183,11 @@ class SrbClient:
         with ``items`` — failed items carry ``error``/``error_type``
         instead of ``oid``.
         """
+        sent = [dict(item, data=self._defer(item["data"]))
+                if "data" in item else dict(item)
+                for item in items]
         return self._call("bulk_ingest", ticket=self.ticket,
-                          items=list(items), resource=resource,
+                          items=sent, resource=resource,
                           container=container)
 
     def bulk_get(self, targets: Sequence[str],
@@ -247,7 +267,7 @@ class SrbClient:
 
     def ingest_replica(self, path: str, data: bytes, resource: str) -> int:
         return self._call("ingest_replica", ticket=self.ticket, path=path,
-                          data=data, resource=resource)
+                          data=self._defer(data), resource=resource)
 
     def synchronize(self, path: str) -> int:
         return self._call("synchronize", ticket=self.ticket, path=path)

@@ -35,7 +35,8 @@ class ContainerManager:
 
     def __init__(self, mcat: Mcat, resources: ResourceRegistry,
                  network: Network,
-                 placement: Optional[PlacementEngine] = None):
+                 placement: Optional[PlacementEngine] = None,
+                 channels=None):
         self.mcat = mcat
         self.resources = resources
         self.network = network
@@ -44,6 +45,20 @@ class ContainerManager:
         # measured path cost).  Standalone managers build a default one.
         self.placement = placement if placement is not None \
             else PlacementEngine(resources, network)
+        # the federation's ChannelBroker (direct_io): container byte
+        # movement rides brokered channels when enabled, the historical
+        # raw transfer otherwise.  None = standalone manager, raw.
+        self.channels = channels
+
+    def _move(self, src: str, dst: str, nbytes: int, path_key: str,
+              label: str) -> None:
+        """Charge one container byte movement src→dst (0 if colocated)."""
+        if src == dst:
+            return
+        if self.channels is not None and self.channels.enabled:
+            self.channels.run(src, dst, nbytes, path_key, label=label)
+        else:
+            self.network.transfer(src, dst, nbytes)
 
     # -- creation -------------------------------------------------------------
 
@@ -102,8 +117,9 @@ class ContainerManager:
         if not self.resources.available(res.name):
             raise ResourceUnavailable(
                 f"container primary resource {res.name!r} is down")
-        if server_host is not None and server_host != res.host:
-            self.network.transfer(server_host, res.host, len(data))
+        if server_host is not None:
+            self._move(server_host, res.host, len(data),
+                       primary["physical_path"], "container-append")
         offset = res.driver.size(primary["physical_path"])
         res.driver.append(primary["physical_path"], data)
         self.mcat.update_replica(coid, primary["replica_num"],
@@ -150,6 +166,38 @@ class ContainerManager:
             f"no clean, reachable replica of container {coid}"
             + (f" ({last_error})" if last_error else ""))
 
+    def read_member_deferred(self, member_replica: Dict[str, Any],
+                             from_host: Optional[str] = None):
+        """Read a member's bytes without charging the wire.
+
+        Direct-I/O variant of :meth:`read_member`: returns ``(data,
+        resource)`` so the caller can move the bytes once, on the real
+        source→sink path, via a brokered channel.  ``from_host`` is the
+        eventual *sink*, used to order the container replicas.
+        """
+        coid = member_replica["container_oid"]
+        if coid is None:
+            raise ContainerError("replica is not container-resident")
+        offset = int(member_replica["offset"])
+        length = int(member_replica["size"])
+        last_error: Optional[Exception] = None
+        for crep in self._ordered_replicas(int(coid), from_host=from_host):
+            if crep["is_dirty"]:
+                continue                      # stale copy: do not serve
+            res = self.resources.physical(crep["resource"])
+            if not self.resources.available(res.name):
+                last_error = ResourceUnavailable(f"{res.name} down")
+                continue
+            try:
+                data = res.driver.read(crep["physical_path"], offset, length)
+            except HostUnreachable as exc:    # pragma: no cover - defensive
+                last_error = exc
+                continue
+            return data, res
+        raise ResourceUnavailable(
+            f"no clean, reachable replica of container {coid}"
+            + (f" ({last_error})" if last_error else ""))
+
     def members(self, container_oid: int) -> List[Dict[str, Any]]:
         return self.mcat.container_members(container_oid)
 
@@ -176,8 +224,9 @@ class ContainerManager:
         if not self.resources.available(res.name):
             raise ResourceUnavailable(
                 f"container primary resource {res.name!r} is down")
-        if server_host is not None and server_host != res.host:
-            self.network.transfer(server_host, res.host, len(data))
+        if server_host is not None:
+            self._move(server_host, res.host, len(data),
+                       primary["physical_path"], "container-replace")
         offset = res.driver.size(primary["physical_path"])
         res.driver.append(primary["physical_path"], data)
         self.mcat.update_replica(coid, primary["replica_num"],
@@ -262,8 +311,8 @@ class ContainerManager:
             if not self.resources.available(dst_res.name):
                 raise ResourceUnavailable(
                     f"cannot sync container to {dst_res.name!r}: down")
-            if src_res.host != dst_res.host:
-                self.network.transfer(src_res.host, dst_res.host, len(data))
+            self._move(src_res.host, dst_res.host, len(data),
+                       rep["physical_path"], "container-sync")
             if dst_res.driver.exists(rep["physical_path"]):
                 dst_res.driver.delete(rep["physical_path"])
             dst_res.driver.create(rep["physical_path"], data)

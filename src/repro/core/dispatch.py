@@ -51,6 +51,36 @@ from repro.auth.tickets import Ticket
 from repro.auth.users import PUBLIC, Principal
 from repro.errors import AccessDenied, AuthError, SrbError, \
     UnsupportedOperation
+from repro.net.wire import DeferredPayload
+
+
+def _unwrap_deferred(value: Any) -> Tuple[Any, bool]:
+    """Strip :class:`DeferredPayload` wrappers from an op's kwargs.
+
+    Returns ``(unwrapped, found)``.  Wrappers appear at the top level
+    (``data=DeferredPayload(...)``) and inside the dict/list structures
+    bulk ops carry; anything else is returned untouched.
+    """
+    if isinstance(value, DeferredPayload):
+        return value.data, True
+    if isinstance(value, dict):
+        found = False
+        out = {}
+        for k, v in value.items():
+            out[k], hit = _unwrap_deferred(v)
+            found = found or hit
+        return (out if found else value), found
+    if isinstance(value, (list, tuple)):
+        items, hits = [], False
+        for v in value:
+            item, hit = _unwrap_deferred(v)
+            items.append(item)
+            hits = hits or hit
+        if not hits:
+            return value, False
+        return (type(value)(items) if isinstance(value, tuple)
+                else items), True
+    return value, False
 
 
 @dataclass(frozen=True)
@@ -132,6 +162,7 @@ class OpContext:
     """Per-call state threaded through the pipeline into the handler."""
 
     __slots__ = ("server", "spec", "ticket", "kwargs", "principal", "span",
+                 "caller_host", "payload_src",
                  "_audit_action", "_audit_target", "_audit_detail",
                  "_audit_suppressed")
 
@@ -140,6 +171,17 @@ class OpContext:
         self.server = server
         self.spec = spec
         self.ticket = ticket
+        # host of the RPC caller currently being served (None when the
+        # op was invoked in-process, e.g. a facade method calling back)
+        self.caller_host: Optional[str] = \
+            server.federation.rpc.caller_host
+        # direct-I/O write path: the client announced its payload with a
+        # DeferredPayload claim instead of shipping the bytes in the
+        # request.  Unwrap so handlers see plain bytes; payload_src then
+        # names the host the bytes still live on (the channel's source).
+        kwargs, deferred = _unwrap_deferred(kwargs)
+        self.payload_src: Optional[str] = \
+            self.caller_host if deferred else None
         self.kwargs = kwargs
         self.principal: Optional[Principal] = None
         self.span = None

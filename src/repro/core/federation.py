@@ -22,18 +22,18 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Sequence
 
-from repro.auth.tickets import Ticket, TicketAuthority
+from repro.auth.tickets import ChannelTicket, Ticket, TicketAuthority
 from repro.auth.users import Principal, UserRegistry
 from repro.core.access import AccessController
 from repro.core.containers import ContainerManager
 from repro.core.locking import LockManager
 from repro.core.server import SrbServer
-from repro.errors import NoSuchServer, SrbError
+from repro.errors import InvalidTicket, NoSuchServer, SrbError
 from repro.mcat.catalog import Mcat
 from repro.mcat.shard import ShardedMcat
 from repro.mcat.extraction import ExtractionRegistry
 from repro.net.rpc import ServiceRegistry
-from repro.net.simnet import LinkSpec, Network, WAN
+from repro.net.simnet import DataChannel, LinkSpec, Network, WAN
 from repro.policy import PlacementEngine
 from repro.storage.archive import ArchiveDriver, TapeCost
 from repro.storage.base import DeviceCost, DISK_COST
@@ -43,6 +43,67 @@ from repro.storage.resource import PhysicalResource, ResourceRegistry
 from repro.storage.web import WebSpace
 from repro.util.clock import SimClock
 from repro.util.ids import IdFactory
+
+
+class ChannelBroker:
+    """Issues and redeems direct data channels for one federation zone.
+
+    The server side of ``Federation(direct_io=True)``: a byte-bearing op
+    asks the broker for a :class:`~repro.net.simnet.DataChannel` carrying
+    a signed one-shot :class:`~repro.auth.tickets.ChannelTicket` (the
+    paper's ticket third-leg applied to data movement), and the RPC layer
+    executes the transfer on the actual src→sink path.  Redemption
+    enforces one-shot use, virtual-clock expiry and the topology epoch;
+    every rejection is counted under ``srb.redirect.denied`` labelled
+    with its reason.
+    """
+
+    def __init__(self, authority: TicketAuthority, network: Network,
+                 enabled: bool = False):
+        self.authority = authority
+        self.network = network
+        self.enabled = bool(enabled)
+        self.opened = 0
+        self.denied = 0
+
+    def open(self, src: str, dst: str, nbytes: int, path_key: str = "",
+             streams: int = 1, label: str = "direct") -> DataChannel:
+        """Build an (unopened) channel with a freshly signed descriptor."""
+        ticket = self.authority.issue_channel(
+            src, dst, nbytes, path_key,
+            epoch=self.network.topology_epoch)
+        self.opened += 1
+        return DataChannel(self.network, src, dst, nbytes, streams=streams,
+                           label=label, ticket=ticket, redeem=self.redeem)
+
+    def redeem(self, ticket: ChannelTicket) -> None:
+        """Validate + consume a descriptor; counts denials by reason."""
+        try:
+            self.authority.redeem_channel(ticket,
+                                          self.network.topology_epoch)
+        except InvalidTicket as exc:
+            self.denied += 1
+            self.network.obs.metrics.inc(
+                "srb.redirect.denied",
+                reason=getattr(exc, "reason", "invalid"))
+            raise
+
+    def run(self, src: str, dst: str, nbytes: int, path_key: str = "",
+            streams: int = 1, label: str = "direct") -> float:
+        """Open + transfer a server-driven channel now (push/copy legs).
+
+        Returns the elapsed virtual seconds (0.0 when src == dst — the
+        bytes never leave the host, so there is nothing to charge).
+        """
+        if src == dst:
+            return 0.0
+        with self.network.obs.tracer.span("srb.redirect", sink=dst,
+                                          legs=1, bytes=nbytes,
+                                          label=label):
+            channel = self.open(src, dst, nbytes, path_key,
+                                streams=streams, label=label)
+            channel.open()
+            return channel.transfer()
 
 
 class Federation:
@@ -63,7 +124,8 @@ class Federation:
                  queue_depth: Optional[int] = None,
                  mcat_shards: Optional[int] = None,
                  mcat_replicas: Optional[int] = None,
-                 mcat_staleness: int = 0):
+                 mcat_staleness: int = 0,
+                 direct_io: bool = False):
         self.zone = zone
         # zones being federated cross-zone share one network (and so one
         # clock); standalone zones build their own
@@ -120,9 +182,19 @@ class Federation:
         # legacy spelling: fed.selector.policy / fed.selector.order()
         # answer from the engine (one copy of policy state)
         self.selector = self.placement.legacy_selector
+        # direct data channels (E19).  Default off: every payload byte
+        # keeps the historical pass-through route (resource → server →
+        # client), byte-identical with the parity recordings.  With
+        # direct_io=True a byte-bearing op replies with a signed one-shot
+        # channel descriptor and the bytes are charged once, on the
+        # actual source→sink path.
+        self.direct_io = bool(direct_io)
+        self.channels = ChannelBroker(self.authority, self.network,
+                                      enabled=self.direct_io)
         self.containers = ContainerManager(self.mcat, self.resources,
                                            self.network,
-                                           placement=self.placement)
+                                           placement=self.placement,
+                                           channels=self.channels)
         self.web = WebSpace(self.network)
         self.extractors = ExtractionRegistry()
         self.servers: Dict[str, SrbServer] = {}
@@ -380,5 +452,9 @@ class Federation:
                 metrics.total("mcat.shard.replica_reads")),
             "mcat_replication_pending": self.mcat.replication_lag()
             if isinstance(self.mcat, ShardedMcat) else 0,
+            "direct_io": self.direct_io,
+            "direct_channels": int(metrics.total("net.direct.channels")),
+            "direct_bytes": int(metrics.total("net.direct.bytes")),
+            "redirects_denied": int(metrics.total("srb.redirect.denied")),
             **self.placement.summary(),
         }

@@ -170,6 +170,81 @@ class PlaneService:
                                   streams=self.federation.data_streams)
 
     # ------------------------------------------------------------------
+    # direct data channels (Federation(direct_io=True))
+    # ------------------------------------------------------------------
+    #
+    # These helpers are the ONLY sanctioned byte movers in plane code
+    # (tools/lint_dispatch.py rule 6): each one either routes through
+    # the federation's ChannelBroker — charging the bytes once, on the
+    # actual source→sink path — or falls back to the exact historical
+    # pass-through transfer, byte-identical with direct_io off.
+
+    def _redirect_sink(self, ctx) -> Optional[str]:
+        """The caller host a read op should redirect bytes to, if any.
+
+        ``None`` means pass-through: direct I/O is off, the op was
+        invoked in-process (no RPC caller), or the caller is colocated
+        with this server so there is no second crossing to save.
+        """
+        if not self.federation.direct_io:
+            return None
+        sink = ctx.caller_host
+        if sink is None or sink == self.host:
+            return None
+        return sink
+
+    def _payload_source(self, ctx) -> Optional[str]:
+        """The host a write op's payload bytes still live on, if any.
+
+        Non-``None`` only when the client deferred the payload
+        (direct_io): the bytes then move ``payload_src → resource``
+        instead of riding the request and being pushed server→resource.
+        """
+        return ctx.payload_src
+
+    def _channel_push(self, ctx, res: PhysicalResource, nbytes: int,
+                      path_key: str = "", label: str = "ingest") -> None:
+        """Move a write payload onto ``res`` (channel or pass-through)."""
+        src = self._payload_source(ctx)
+        if src is None:
+            self._push_to_resource(res, nbytes)
+        elif src != res.host:
+            self.federation.channels.run(
+                src, res.host, nbytes, path_key,
+                streams=self.federation.data_streams, label=label)
+
+    def _channel_copy(self, src_host: str, res: PhysicalResource,
+                      nbytes: int, path_key: str = "",
+                      label: str = "copy") -> None:
+        """Move bytes ``src_host → res`` (resource→resource legs)."""
+        if src_host == res.host:
+            return
+        if self.federation.direct_io:
+            self.federation.channels.run(
+                src_host, res.host, nbytes, path_key,
+                streams=self.federation.data_streams, label=label)
+        else:
+            self.network.transfer(src_host, res.host, nbytes,
+                                  streams=self.federation.data_streams)
+
+    def _redirect_reply(self, payload, parts, sink: str,
+                        label: str = "get", retry: bool = False,
+                        parallel: bool = False):
+        """Build a :class:`~repro.net.wire.Redirect` reply.
+
+        ``parts`` is a list of ``(src_host, nbytes, path_key)`` legs the
+        caller's RPC layer will execute as channels toward ``sink``.
+        """
+        from repro.net.wire import Redirect
+        streams = self.federation.data_streams
+        channels = [
+            self.federation.channels.open(src, sink, nbytes, path_key,
+                                          streams=streams, label=label)
+            for src, nbytes, path_key in parts]
+        return Redirect(payload, channels, parallel=parallel, retry=retry,
+                        label=label)
+
+    # ------------------------------------------------------------------
     # catalog resolution shared across planes
     # ------------------------------------------------------------------
 

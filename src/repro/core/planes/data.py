@@ -3,10 +3,22 @@
 Ingest/retrieve/overwrite/delete, the amortized bulk ops, the five
 registered-object kinds, copies, containers, and the lock/pin/version
 surface — everything whose job is getting bytes on or off storage
-resources.  Data paths are unchanged from the monolithic server: bytes
-flow ``resource host -> server host`` inside the server and onward in
-the RPC response, so every byte crosses the simulated WAN the same
-number of times it would in SRB 1.x's pass-through transfer mode."""
+resources.
+
+Two routing modes exist.  **Pass-through** (the default, SRB 1.x
+style): bytes flow ``resource host -> server host`` inside the server
+and onward in the RPC response, so every byte against a non-colocated
+resource crosses the simulated WAN twice.  **Direct data channels**
+(``Federation(direct_io=True)``): the server stays the *broker* of
+storage access — it resolves the catalog, checks ACLs, opens the
+control session to the resource — but replies with a signed one-shot
+channel descriptor instead of the payload, and the bytes are charged
+once on the actual source→sink path (resource→client for reads,
+client→resource for writes, resource→resource for copies).  Every
+byte-bearing op falls back to pass-through when direct I/O is off, the
+op was invoked in-process, or the caller is colocated with this server;
+the channel helpers on :class:`~repro.core.planes.base.PlaneService`
+are the only sanctioned byte movers (lint rule 6)."""
 
 from __future__ import annotations
 
@@ -80,9 +92,9 @@ class DataService(PlaneService):
             if container is not None:
                 cont = self.containers.get_container(container)
                 self.access.require_object(principal, cont, "write")
-                self.containers.append_member(cont, oid, data,
-                                              now=self.now,
-                                              server_host=self.host)
+                self.containers.append_member(
+                    cont, oid, data, now=self.now,
+                    server_host=self._payload_source(ctx) or self.host)
             else:
                 resource = resource or self.federation.default_resource
                 if resource is None:
@@ -94,14 +106,16 @@ class DataService(PlaneService):
                 phys = f"/srb/{coll.strip('/').replace('/', '_')}/" \
                        f"{oid}-{paths.basename(path)}"
                 if self.federation.parallel_fanout and len(res_list) > 1:
-                    self._ingest_fanout(oid, phys, data, res_list, created)
+                    self._ingest_fanout(ctx, oid, phys, data, res_list,
+                                        created)
                 else:
                     for res in res_list:
                         if not self.resources.available(res.name):
                             raise ResourceUnavailable(
                                 f"resource {res.name!r} is down")
                         self._resource_session(res)
-                        self._push_to_resource(res, len(data))
+                        self._channel_push(ctx, res, len(data), phys,
+                                           "ingest")
                         res.driver.create(phys, data)
                         created.append((res, phys))
                         self.mcat.add_replica(oid, res.name, phys,
@@ -125,7 +139,8 @@ class DataService(PlaneService):
             ctx.span.incr("payload_bytes", len(data))
         return oid
 
-    def _ingest_fanout(self, oid: int, phys: str, data: bytes,
+    def _ingest_fanout(self, ctx: OpContext, oid: int, phys: str,
+                       data: bytes,
                        res_list: Sequence[PhysicalResource],
                        created: List[Tuple[PhysicalResource, str]]) -> None:
         """Write all members of a logical resource concurrently.
@@ -134,7 +149,9 @@ class DataService(PlaneService):
         charges the slowest member's cost (makespan), not the serial
         sum — sequential ≈ Σ costs → parallel ≈ max.  Any member failure
         aborts the ingest before a single byte lands on a driver, so the
-        caller's rollback has only catalog rows to undo.
+        caller's rollback has only catalog rows to undo.  With a
+        deferred payload (direct_io) the fan-out legs run as channels
+        from the payload's source host instead of from this server.
         """
         for res in res_list:
             if not self.resources.available(res.name):
@@ -142,17 +159,48 @@ class DataService(PlaneService):
                     f"resource {res.name!r} is down")
         for res in res_list:
             self._resource_session(res)
-        group = TransferGroup(self.network, label="ingest-fanout")
-        for res in res_list:
-            if res.host != self.host:
-                group.add(self.host, res.host, len(data),
-                          streams=self.federation.data_streams,
-                          key=res.name)
-        for outcome in group.run():
-            if not outcome.ok:
-                self._invalidate_session(
-                    self.resources.physical(outcome.key))
-                raise outcome.error
+        src = self._payload_source(ctx)
+        if src is None:
+            group = TransferGroup(self.network, label="ingest-fanout")
+            for res in res_list:
+                if res.host != self.host:
+                    group.add(self.host, res.host, len(data),
+                              streams=self.federation.data_streams,
+                              key=res.name)
+            for outcome in group.run():
+                if not outcome.ok:
+                    self._invalidate_session(
+                        self.resources.physical(outcome.key))
+                    raise outcome.error
+        else:
+            channels = {}
+            try:
+                for res in res_list:
+                    if res.host == src:
+                        continue
+                    ch = self.federation.channels.open(
+                        src, res.host, len(data), phys,
+                        streams=self.federation.data_streams,
+                        label="ingest-fanout")
+                    ch.open()
+                    channels[res.name] = ch
+            except SrbError:
+                for ch in channels.values():
+                    ch.settle()
+                raise
+            group = TransferGroup(self.network, label="ingest-fanout")
+            for name, ch in channels.items():
+                ch.add_to(group, key=name)
+            first_error = None
+            for outcome in group.run():
+                channels[outcome.key].finish(outcome)
+                if not outcome.ok:
+                    self._invalidate_session(
+                        self.resources.physical(outcome.key))
+                    if first_error is None:
+                        first_error = outcome.error
+            if first_error is not None:
+                raise first_error
         for res in res_list:
             res.driver.create(phys, data)
             created.append((res, phys))
@@ -287,7 +335,7 @@ class DataService(PlaneService):
                     cont = self.containers.get_container(cont_path)
                     self.containers.append_member(
                         cont, oid, data, now=self.now,
-                        server_host=self.host)
+                        server_host=self._payload_source(ctx) or self.host)
                 except SrbError as exc:
                     self.mcat.delete_object(oid)
                     fail(i, path, exc)
@@ -304,8 +352,9 @@ class DataService(PlaneService):
                 # one session + one pipelined push per resource for
                 # the whole batch, streams=k as on single transfers
                 self._resource_session(res)
-                self._push_to_resource(res,
-                                       sum(len(e[2]) for e in alive))
+                self._channel_push(ctx, res,
+                                   sum(len(e[2]) for e in alive),
+                                   "", "bulk-ingest")
                 survivors = []
                 for entry in alive:
                     i, path, data, _md, oid = entry
@@ -377,7 +426,11 @@ class DataService(PlaneService):
         # with parallel_fanout, the per-item wire pulls are deferred and
         # batched into one TransferGroup below: pulls landing on
         # distinct storage hosts overlap, so the batch charges the
-        # slowest host's share instead of the serial sum
+        # slowest host's share instead of the serial sum.  Under
+        # direct_io the owed pulls become channels replica→caller and
+        # the whole reply is a Redirect (a channel failure then fails
+        # the call rather than the single item — the caller retries).
+        sink = self._redirect_sink(ctx)
         overlap = self.federation.parallel_fanout
         owed: Dict[int, PhysicalResource] = {}
         for raw in targets:
@@ -396,8 +449,8 @@ class DataService(PlaneService):
                 if prefetched is not None:
                     data = prefetched.get(int(obj["oid"]))
                 if data is None:
-                    if overlap:
-                        data, res = self._read_replica(obj, None)
+                    if sink is not None or overlap:
+                        data, res = self._read_replica(obj, None, sink=sink)
                         if res is not None:
                             owed[len(results)] = res
                     else:
@@ -407,7 +460,15 @@ class DataService(PlaneService):
             except SrbError as exc:
                 results.append({"path": str(raw), "error": str(exc),
                                 "error_type": type(exc).__name__})
-        if owed:
+        reply: Any = results
+        if owed and sink is not None:
+            parts = [(res.host, len(results[idx]["data"]),
+                      results[idx]["path"])
+                     for idx, res in owed.items()]
+            reply = self._redirect_reply(results, parts, sink,
+                                         label="bulk-get",
+                                         parallel=overlap)
+        elif owed:
             group = TransferGroup(self.network, label="bulk-get")
             for idx, res in owed.items():
                 group.add(res.host, self.host,
@@ -425,7 +486,7 @@ class DataService(PlaneService):
         ctx.audit(target=f"{len(targets)} items", detail=f"{total}B")
         if ctx.span is not None:
             ctx.span.incr("payload_bytes", total)
-        return results
+        return reply
 
     def _prefetch_container(self, coid: int) -> Dict[int, bytes]:
         """Fetch a container's bytes once; map member oid -> its slice."""
@@ -652,14 +713,15 @@ class DataService(PlaneService):
         self.locks.check_read(int(obj["oid"]), principal)
         kind = obj["kind"]
         if kind in ("data", "registered", "container"):
+            sink = self._redirect_sink(ctx)
             data = None
             if stripes == "auto" and replica_num is None:
-                stripes = self._auto_stripe_count(obj)
+                stripes = self._auto_stripe_count(obj, sink=sink)
             if stripes is not None and not isinstance(stripes, str) \
                     and stripes > 1 and replica_num is None:
-                data = self._get_bytes_striped(obj, stripes)
+                data = self._get_bytes_striped(obj, stripes, sink=sink)
             if data is None:
-                data = self._get_bytes(obj, replica_num)
+                data = self._get_bytes(obj, replica_num, sink=sink)
         elif kind == "sql":
             data = self._get_sql(obj, replica_num, sql_remainder)
         elif kind == "url":
@@ -678,14 +740,25 @@ class DataService(PlaneService):
         return data
 
     def _get_bytes(self, obj: Dict[str, Any],
-                   replica_num: Optional[int]) -> bytes:
-        data, res = self._read_replica(obj, replica_num)
-        if res is not None:
-            self._pull_from_resource(res, len(data))
+                   replica_num: Optional[int],
+                   sink: Optional[str] = None) -> Any:
+        """Plain (non-striped) read.  Without a ``sink`` this charges the
+        resource→server pull and returns bytes; with one it returns a
+        :class:`~repro.net.wire.Redirect` whose single channel moves the
+        bytes resource→sink instead."""
+        data, res = self._read_replica(obj, replica_num, sink=sink)
+        if res is None:
+            return data
+        if sink is not None:
+            return self._redirect_reply(
+                data, [(res.host, len(data), str(obj["path"]))], sink,
+                label="get")
+        self._pull_from_resource(res, len(data))
         return data
 
     def _read_replica(self, obj: Dict[str, Any],
-                      replica_num: Optional[int]
+                      replica_num: Optional[int],
+                      sink: Optional[str] = None
                       ) -> Tuple[bytes, Optional[PhysicalResource]]:
         """Chain-walk to the first readable replica; defer the wire pull.
 
@@ -694,7 +767,11 @@ class DataService(PlaneService):
         ``bulk_get`` can batch many pulls into one
         :class:`TransferGroup`), or ``None`` when the bytes are already
         fully paid for (local replica, or a container member — its read
-        charges its own transfers)."""
+        charges its own transfers).  With ``sink`` set (direct_io) the
+        chain is ordered by the *sink* host, "local" means colocated
+        with the sink, and container members defer their wire leg too
+        (:meth:`ContainerManager.read_member_deferred`)."""
+        origin = sink if sink is not None else self.host
         oid = int(obj["oid"])
         replicas = self.mcat.replicas(oid)
         if replica_num is not None:
@@ -704,7 +781,7 @@ class DataService(PlaneService):
                     f"{obj['path']} has no replica {replica_num}")
         else:
             chain = self.federation.placement.order_replicas(
-                replicas, from_host=self.host)
+                replicas, from_host=origin)
             chain = [r for r in chain if not r["is_dirty"]]
             if not chain:
                 raise ReplicaUnavailable(
@@ -713,8 +790,12 @@ class DataService(PlaneService):
         for rep in chain:
             if rep["container_oid"] is not None:
                 try:
-                    return self.containers.read_member(
-                        rep, server_host=self.host), None
+                    if sink is None:
+                        return self.containers.read_member(
+                            rep, server_host=self.host), None
+                    data, res = self.containers.read_member_deferred(
+                        rep, from_host=sink)
+                    return data, (res if res.host != origin else None)
                 except (ResourceUnavailable, HostUnreachable) as exc:
                     last = exc
                     continue
@@ -728,27 +809,32 @@ class DataService(PlaneService):
                 self._invalidate_session(res)
                 last = exc
                 continue
-            return data, (res if res.host != self.host else None)
+            return data, (res if res.host != origin else None)
         raise ReplicaUnavailable(
             f"all replicas of {obj['path']!r} unavailable ({last})")
 
     def _striped_candidates(self, obj: Dict[str, Any],
-                            cap: Optional[int] = None
+                            cap: Optional[int] = None,
+                            origin: Optional[str] = None
                             ) -> List[Tuple[Dict[str, Any],
                                             PhysicalResource]]:
         """Usable striped-read sources for ``obj``: clean, non-container
-        replicas on distinct *remote* reachable hosts, in the placement
-        engine's preferred order, capped at ``cap`` entries."""
+        replicas on distinct reachable hosts other than ``origin`` (the
+        stripe sink — this server, or the redirect sink under
+        direct_io), in the placement engine's preferred order, capped
+        at ``cap`` entries."""
+        if origin is None:
+            origin = self.host
         oid = int(obj["oid"])
         chain = self.federation.placement.order_replicas(
-            self.mcat.replicas(oid), from_host=self.host)
+            self.mcat.replicas(oid), from_host=origin)
         usable: List[Tuple[Dict[str, Any], PhysicalResource]] = []
         seen_hosts = set()
         for rep in chain:
             if rep["is_dirty"] or rep["container_oid"] is not None:
                 continue
             res = self.resources.physical(rep["resource"])
-            if res.host == self.host or res.host in seen_hosts:
+            if res.host == origin or res.host in seen_hosts:
                 continue
             if not self.resources.available(res.name):
                 continue
@@ -758,27 +844,32 @@ class DataService(PlaneService):
                 break
         return usable
 
-    def _auto_stripe_count(self, obj: Dict[str, Any]) -> int:
+    def _auto_stripe_count(self, obj: Dict[str, Any],
+                           sink: Optional[str] = None) -> int:
         """Pick the stripe count for a ``get(stripes="auto")`` read.
 
-        A clean replica on *this* host beats any wire pull, so auto
+        A clean replica on the stripe sink's host (this server, or the
+        redirect sink under direct_io) beats any wire pull, so auto
         answers 1 (plain chain walk) when one exists; otherwise the
         placement engine minimizes its probes + makespan model over the
         measured path bandwidths (E18 checks the pick lands within 10%
         of E14's hand-swept knee).
         """
+        origin = sink if sink is not None else self.host
         for rep in self.mcat.replicas(int(obj["oid"])):
             if rep["is_dirty"] or rep["container_oid"] is not None:
                 continue
             res = self.resources.physical(rep["resource"])
-            if res.host == self.host and self.resources.available(res.name):
+            if res.host == origin and self.resources.available(res.name):
                 return 1
-        candidates = [res for _rep, res in self._striped_candidates(obj)]
+        candidates = [res for _rep, res in
+                      self._striped_candidates(obj, origin=origin)]
         return self.federation.placement.choose_stripes(
-            candidates, int(obj.get("size") or 0), from_host=self.host)
+            candidates, int(obj.get("size") or 0), from_host=origin)
 
     def _get_bytes_striped(self, obj: Dict[str, Any],
-                           stripes: int) -> Optional[bytes]:
+                           stripes: int,
+                           sink: Optional[str] = None) -> Optional[Any]:
         """Read one object as ``stripes`` chunks from distinct replicas.
 
         SRB's parallel I/O for large objects: when an object has clean
@@ -786,7 +877,10 @@ class DataService(PlaneService):
         byte ranges from up to ``stripes`` of them concurrently — one
         :class:`TransferGroup`, so the read charges the slowest chunk
         instead of the whole object over one path.  The payoff scales
-        until the per-stream/path knee (experiment E14).
+        until the per-stream/path knee (experiment E14).  With ``sink``
+        set (direct_io) the chunks are not pulled here at all: the
+        reply is a :class:`~repro.net.wire.Redirect` whose channels the
+        caller runs replica→sink, one parallel group on *its* side.
 
         Returns ``None`` when striping cannot help (fewer than two
         usable replicas on distinct hosts) so the caller falls back to
@@ -794,7 +888,7 @@ class DataService(PlaneService):
         is re-pulled from the first healthy replica; if *every* replica
         fails the usual :class:`ReplicaUnavailable` is raised.
         """
-        usable = self._striped_candidates(obj, cap=stripes)
+        usable = self._striped_candidates(obj, cap=stripes, origin=sink)
         if len(usable) < 2:
             return None
 
@@ -818,6 +912,13 @@ class DataService(PlaneService):
         chunk = -(-len(data) // k)      # ceil division
         bounds = [(i * chunk, min((i + 1) * chunk, len(data)))
                   for i in range(k)]
+        if sink is not None:
+            self.obs.metrics.inc("srb.striped_reads", stripes=str(k))
+            return self._redirect_reply(
+                data,
+                [(res.host, hi - lo, rep["physical_path"])
+                 for (lo, hi), (rep, res) in zip(bounds, usable)],
+                sink, label="striped-get", retry=True, parallel=True)
         group = TransferGroup(self.network, label="striped-get")
         for (lo, hi), (_rep, res) in zip(bounds, usable):
             group.add(res.host, self.host, hi - lo,
@@ -941,12 +1042,14 @@ class DataService(PlaneService):
             # containers are "tarfiles but with more flexibility in
             # accessing and updating files": append the new bytes and
             # repoint the member (compact_container reclaims the garbage)
-            self.containers.replace_member(rep, data, now=self.now,
-                                           server_host=self.host)
+            self.containers.replace_member(
+                rep, data, now=self.now,
+                server_host=self._payload_source(ctx) or self.host)
         else:
             res = self.resources.physical(rep["resource"])
             self._resource_session(res)
-            self._push_to_resource(res, len(data))
+            self._channel_push(ctx, res, len(data),
+                               rep["physical_path"], "put")
             if res.driver.exists(rep["physical_path"]):
                 res.driver.delete(rep["physical_path"])
             res.driver.create(rep["physical_path"], data)
@@ -1038,7 +1141,14 @@ class DataService(PlaneService):
                 "objects")
         self.access.require_object(principal, obj, "read")
         self.access.require_collection(principal, paths.dirname(dst), "write")
-        data = self._get_bytes(obj, None)
+        if self.federation.direct_io:
+            # resource→resource: read the bytes catalog-side, move them
+            # once per destination straight from the source replica
+            data, src_res = self._read_replica(obj, None)
+            src_host = src_res.host if src_res is not None else self.host
+        else:
+            data = self._get_bytes(obj, None)
+            src_host = self.host
         resource = resource or str(
             self.mcat.replicas(int(obj["oid"]))[0]["resource"])
         new_oid = self.mcat.create_object(
@@ -1050,7 +1160,7 @@ class DataService(PlaneService):
                 size_hint=len(data)):
             phys = f"/srb/copies/{new_oid}-{paths.basename(dst)}"
             self._resource_session(res)
-            self._push_to_resource(res, len(data))
+            self._channel_copy(src_host, res, len(data), phys, "copy")
             res.driver.create(phys, data)
             self.mcat.add_replica(new_oid, res.name, phys, len(data),
                                   now=self.now)

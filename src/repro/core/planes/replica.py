@@ -65,13 +65,11 @@ class ReplicaService(PlaneService):
             if not self.resources.available(dst_res.name):
                 raise ResourceUnavailable(
                     f"resource {dst_res.name!r} down")
-            if src_res.host != dst_res.host:
-                self.network.transfer(src_res.host, dst_res.host,
-                                      len(data),
-                                      streams=self.federation.data_streams)
             phys = f"/srb/replicas/{oid}" \
                    f"-r{len(self.mcat.replicas(oid)) + 1}" \
                    f"-{paths.basename(str(obj['path']))}"
+            self._channel_copy(src_res.host, dst_res, len(data), phys,
+                               "replicate")
             self._resource_session(dst_res)
             dst_res.driver.create(phys, data)
             new_num = self.mcat.add_replica(oid, dst_res.name, phys,
@@ -118,7 +116,8 @@ class ReplicaService(PlaneService):
             phys = f"/srb/ingested-replicas/{oid}-" \
                    f"{len(self.mcat.replicas(oid)) + 1}"
             self._resource_session(res)
-            self._push_to_resource(res, len(data))
+            self._channel_push(ctx, res, len(data), phys,
+                               "ingest-replica")
             res.driver.create(phys, data)
             num = self.mcat.add_replica(oid, res.name, phys, len(data),
                                         now=self.now)
@@ -133,7 +132,9 @@ class ReplicaService(PlaneService):
                             int(obj["oid"]),
                             parallel=self.federation.parallel_fanout,
                             streams=self.federation.data_streams,
-                            placement=self.federation.placement)
+                            placement=self.federation.placement,
+                            channels=self.federation.channels
+                            if self.federation.direct_io else None)
         ctx.audit(detail=str(count))
         return count
 
@@ -168,10 +169,8 @@ class ReplicaService(PlaneService):
         src_res = self.resources.physical(src["resource"])
         self._resource_session(src_res)
         data = src_res.driver.read(src["physical_path"])
-        if src_res.host != dst_res.host:
-            self.network.transfer(src_res.host, dst_res.host, len(data),
-                                  streams=self.federation.data_streams)
         phys = f"/srb/moved/{oid}-{paths.basename(str(obj['path']))}"
+        self._channel_copy(src_res.host, dst_res, len(data), phys, "move")
         self._resource_session(dst_res)
         dst_res.driver.create(phys, data)
         src_res.driver.delete(src["physical_path"])

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.errors import ReplicaUnavailable, ReplicationError
+from repro.errors import ReplicaUnavailable, ReplicationError, SrbError
 from repro.mcat.catalog import Mcat
 from repro.net.simnet import Network, TransferGroup
 from repro.policy import PlacementContext, PlacementEngine, make_policy
@@ -109,7 +109,8 @@ def pick_clean_available(selector: ReplicaSelector,
 
 def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
                 oid: int, parallel: bool = False, streams: int = 1,
-                placement: Optional[PlacementEngine] = None) -> int:
+                placement: Optional[PlacementEngine] = None,
+                channels: Optional[Any] = None) -> int:
     """Refresh every dirty replica of ``oid`` from a clean one.
 
     Bytes move clean-resource-host -> dirty-resource-host; returns the
@@ -124,6 +125,12 @@ def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
     sources the refresh: under a static policy the preference is the
     historical catalog order, under ``observed`` it is the replica with
     the smallest predicted total push time to the dirty hosts.
+
+    ``channels`` (a :class:`~repro.core.federation.ChannelBroker`, under
+    ``Federation(direct_io=True)``) routes every refresh leg through a
+    ticketed one-shot channel — same source→sink paths, but metered and
+    admission-controlled like any other direct transfer.  ``None`` keeps
+    the historical raw transfers, byte for byte.
     """
     replicas = mcat.replicas(oid)
     clean = [r for r in replicas if not r["is_dirty"]
@@ -154,12 +161,30 @@ def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
     skipped: set = set()
     if parallel and len(targets) > 1:
         group = TransferGroup(network, label="synchronize")
+        opened: Dict[Any, Any] = {}
         for rep in targets:
             dst_res = resources.physical(rep["resource"])
-            if src_res.host != dst_res.host:
+            if src_res.host == dst_res.host:
+                continue
+            if channels is not None:
+                ch = channels.open(src_res.host, dst_res.host, len(data),
+                                   rep["physical_path"], streams=streams,
+                                   label="synchronize")
+                try:
+                    ch.open()
+                except SrbError:
+                    # an unopenable channel behaves like a failed member:
+                    # the replica stays dirty, its siblings still refresh
+                    skipped.add(rep["replica_num"])
+                    continue
+                opened[rep["replica_num"]] = ch
+                ch.add_to(group, key=rep["replica_num"])
+            else:
                 group.add(src_res.host, dst_res.host, len(data),
                           streams=streams, key=rep["replica_num"])
         for outcome in group.run():
+            if outcome.key in opened:
+                opened[outcome.key].finish(outcome)
             if not outcome.ok:
                 skipped.add(outcome.key)
 
@@ -170,8 +195,13 @@ def synchronize(mcat: Mcat, resources: ResourceRegistry, network: Network,
         dst_res = resources.physical(rep["resource"])
         if not parallel or len(targets) <= 1:
             if src_res.host != dst_res.host:
-                network.transfer(src_res.host, dst_res.host, len(data),
-                                 streams=streams)
+                if channels is not None:
+                    channels.run(src_res.host, dst_res.host, len(data),
+                                 rep["physical_path"], streams=streams,
+                                 label="synchronize")
+                else:
+                    network.transfer(src_res.host, dst_res.host, len(data),
+                                     streams=streams)
         if dst_res.driver.exists(rep["physical_path"]):
             dst_res.driver.delete(rep["physical_path"])
         dst_res.driver.create(rep["physical_path"], data)

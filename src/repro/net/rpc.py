@@ -36,8 +36,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, \
     Sequence, Tuple
 
 from repro.errors import HostUnreachable, RpcError, ServerBusy, SrbError
-from repro.net.simnet import Network
-from repro.net.wire import message_size
+from repro.net.simnet import Network, TransferGroup
+from repro.net.wire import Redirect, message_size
 
 
 @dataclass
@@ -143,6 +143,16 @@ class ServiceRegistry:
         self._open_arrival: Optional[float] = None
         #: timing of the most recent completed/shed call (RequestTiming)
         self.last_timing: Optional[RequestTiming] = None
+        # host of the client whose request is currently being invoked;
+        # handlers read it (via OpContext.caller_host) to know where a
+        # direct data channel's far end lives.  Saved/restored around
+        # each invocation so nested server→server RPCs see their own src.
+        self._caller_host: Optional[str] = None
+
+    @property
+    def caller_host(self) -> Optional[str]:
+        """Source host of the request currently being served, if any."""
+        return self._caller_host
 
     # -- open-loop load ------------------------------------------------------
 
@@ -326,10 +336,13 @@ class ServiceRegistry:
             extra = wait if open_arrival is not None else 0.0
 
             t_svc = clock.now
+            caller_prev = self._caller_host
+            self._caller_host = src
             try:
                 try:
                     result = fn(**kwargs)
                 finally:
+                    self._caller_host = caller_prev
                     # the worker was occupied for the service time
                     # whether the handler succeeded or raised
                     if admission is not None:
@@ -371,12 +384,87 @@ class ServiceRegistry:
             self.stats.response_bytes += resp_bytes
             obs.metrics.inc("rpc.response_bytes", resp_bytes,
                             service=service, method=method)
+            if isinstance(result, Redirect):
+                # the reply carried signed descriptors, not the bytes:
+                # execute the second leg(s) on the real src→sink paths
+                # before handing the payload to the caller — its cost is
+                # part of this call's client-perceived latency
+                try:
+                    result = self._run_redirect(src, result)
+                except SrbError as exc:
+                    err_name = type(exc).__name__
+                    if sp is not None:
+                        sp.error = str(exc)
+                    self.stats.failures += 1
+                    obs.metrics.inc("rpc.failures", service=service,
+                                    method=method, error=err_name)
+                    obs.metrics.observe("rpc.call_s",
+                                        clock.now - t0 + extra,
+                                        service=service, method=method,
+                                        error=err_name)
+                    self._finish(issued, wait, clock.now - t0 + extra,
+                                 error=err_name)
+                    raise
             obs.metrics.observe("rpc.call_s", clock.now - t0 + extra,
                                 service=service, method=method)
             if sp is not None:
                 sp.incr("response_bytes", resp_bytes)
             self._finish(issued, wait, clock.now - t0 + extra)
         return result
+
+    def _run_redirect(self, sink: str, redirect: Redirect) -> Any:
+        """Execute a redirect reply's second leg(s) at the caller.
+
+        Single-leg (and serial multi-leg) redirects transfer blocking;
+        a ``parallel`` redirect composes its legs into a
+        :class:`TransferGroup` so striped/fan-out transfers charge the
+        makespan.  With ``retry=True`` (striped reads) a failed grouped
+        leg's bytes are re-pulled from the first healthy leg's source;
+        otherwise the first failure raises.  Returns the payload.
+        """
+        obs = self.network.obs
+        channels = redirect.channels
+        with obs.tracer.span("srb.redirect", sink=sink,
+                             legs=len(channels),
+                             bytes=sum(ch.nbytes for ch in channels),
+                             label=redirect.label) as sp:
+            if not redirect.parallel or len(channels) <= 1:
+                for ch in channels:
+                    ch.open()
+                    ch.transfer()
+            elif channels:
+                group = TransferGroup(self.network,
+                                      label=f"direct-{redirect.label}")
+                opened = []
+                try:
+                    for ch in channels:
+                        ch.open()
+                        opened.append(ch)
+                        ch.add_to(group, key=ch)
+                except Exception:
+                    for ch in opened:
+                        ch.settle()
+                    raise
+                outcomes = group.run()
+                failed = []
+                for ch, outcome in zip(channels, outcomes):
+                    ch.finish(outcome)
+                    if not outcome.ok:
+                        failed.append((ch, outcome))
+                if failed:
+                    healthy = [o for o in outcomes if o.ok]
+                    if redirect.retry and healthy:
+                        # re-pull the failed legs' bytes from a source
+                        # that answered (mirrors striped-read repair)
+                        for ch, _outcome in failed:
+                            self.network.transfer(healthy[0].src, sink,
+                                                  ch.nbytes,
+                                                  streams=ch.streams)
+                        if sp is not None:
+                            sp.incr("retried", len(failed))
+                    else:
+                        raise failed[0][1].error
+        return redirect.payload
 
     def call_stream(self, src: str, dst: str, service: str, method: str,
                     /, page_size: int = 100, cursor: Optional[Any] = None,
@@ -508,30 +596,39 @@ class ServiceRegistry:
 
             t_svc = clock.now
             results: List[BatchItemResult] = []
-            for method, kwargs in items:
-                try:
-                    fn = _resolve_method(handler, service, method)
-                except RpcError as exc:
-                    results.append(BatchItemResult(ok=False, error=exc))
-                    self.stats.failures += 1
-                    obs.metrics.inc("rpc.failures", service=service,
-                                    method=method, error="RpcError")
-                    continue
-                try:
-                    results.append(BatchItemResult(ok=True, value=fn(**kwargs)))
-                except SrbError as exc:
-                    results.append(BatchItemResult(ok=False, error=exc))
-                    self.stats.failures += 1
-                    obs.metrics.inc("rpc.failures", service=service,
-                                    method=method, error=type(exc).__name__)
-                except Exception as exc:  # non-SRB bug: wrap, don't leak
-                    wrapped = RpcError(
-                        f"remote {service}.{method} failed: {exc!r}")
-                    wrapped.__cause__ = exc
-                    results.append(BatchItemResult(ok=False, error=wrapped))
-                    self.stats.failures += 1
-                    obs.metrics.inc("rpc.failures", service=service,
-                                    method=method, error=type(exc).__name__)
+            caller_prev = self._caller_host
+            self._caller_host = src
+            try:
+                for method, kwargs in items:
+                    try:
+                        fn = _resolve_method(handler, service, method)
+                    except RpcError as exc:
+                        results.append(BatchItemResult(ok=False, error=exc))
+                        self.stats.failures += 1
+                        obs.metrics.inc("rpc.failures", service=service,
+                                        method=method, error="RpcError")
+                        continue
+                    try:
+                        results.append(
+                            BatchItemResult(ok=True, value=fn(**kwargs)))
+                    except SrbError as exc:
+                        results.append(BatchItemResult(ok=False, error=exc))
+                        self.stats.failures += 1
+                        obs.metrics.inc("rpc.failures", service=service,
+                                        method=method,
+                                        error=type(exc).__name__)
+                    except Exception as exc:  # non-SRB bug: wrap, don't leak
+                        wrapped = RpcError(
+                            f"remote {service}.{method} failed: {exc!r}")
+                        wrapped.__cause__ = exc
+                        results.append(BatchItemResult(ok=False,
+                                                       error=wrapped))
+                        self.stats.failures += 1
+                        obs.metrics.inc("rpc.failures", service=service,
+                                        method=method,
+                                        error=type(exc).__name__)
+            finally:
+                self._caller_host = caller_prev
 
             if admission is not None:
                 station.complete(admission,
@@ -556,6 +653,20 @@ class ServiceRegistry:
             self.stats.response_bytes += resp_bytes
             obs.metrics.inc("rpc.response_bytes", resp_bytes,
                             service=service, method="<batch>")
+            for r in results:
+                if r.ok and isinstance(r.value, Redirect):
+                    # second leg per item; a dead channel fails only its
+                    # own item, matching the batch's per-item marshalling
+                    try:
+                        r.value = self._run_redirect(src, r.value)
+                    except SrbError as exc:
+                        r.ok = False
+                        r.value = None
+                        r.error = exc
+                        self.stats.failures += 1
+                        obs.metrics.inc("rpc.failures", service=service,
+                                        method="<batch>",
+                                        error=type(exc).__name__)
             obs.metrics.observe("rpc.call_s", clock.now - t0 + extra,
                                 service=service, method="<batch>")
             if sp is not None:

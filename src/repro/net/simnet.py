@@ -625,3 +625,114 @@ class TransferGroup:
         metrics.observe("net.parallel.saved_s", max(0.0, serial_s - makespan),
                         label=self.label)
         return outcomes
+
+
+class DataChannel:
+    """A brokered source→sink data leg — the direct-I/O second leg.
+
+    Pass-through routing moves payload bytes ``resource → server →
+    client`` (two charged crossings); a channel moves them once on the
+    path that actually carries them.  The server stays the *broker* of
+    storage access, exactly the role the paper assigns it: it issues a
+    signed one-shot descriptor (``ticket``) and the endpoints move the
+    bytes themselves.
+
+    Lifecycle::
+
+        ch.open()       # redeem descriptor, handshake, admission
+        ch.transfer()   # blocking move (or ch.add_to(group) + ch.finish)
+
+    ``open()`` redeems the descriptor through the injected ``redeem``
+    callable (the federation's :class:`ChannelBroker`; simnet itself
+    stays auth-free), charges one control handshake on the channel's own
+    path (the sink presenting the descriptor to the source endpoint),
+    and — when the source host runs a :class:`ServiceStation` — admits
+    the transfer there, so redirected traffic still respects worker
+    pools and bounded queues (:class:`~repro.errors.ServerBusy`
+    propagates).  Channels compose with :class:`TransferGroup` via
+    :meth:`add_to`/:meth:`finish` so striped and fan-out redirects
+    charge a makespan, not a serial sum.
+    """
+
+    #: control handshake opening the channel: descriptor + ack framing
+    HANDSHAKE_BYTES = 96
+
+    def __init__(self, network: Network, src: str, dst: str, nbytes: int,
+                 streams: int = 1, label: str = "direct",
+                 ticket: Any = None, redeem=None):
+        if nbytes < 0:
+            raise NetworkError(f"negative channel size {nbytes}")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.nbytes = int(nbytes)
+        self.streams = streams
+        self.label = label
+        self.ticket = ticket
+        self._redeem = redeem
+        self._opened = False
+        self._admission: Optional[Admission] = None
+
+    def open(self) -> None:
+        """Redeem the descriptor and set the channel up (exactly once)."""
+        if self._opened:
+            raise NetworkError("DataChannel already opened")
+        self._opened = True
+        if self._redeem is not None:
+            self._redeem(self.ticket)     # InvalidTicket propagates
+        net = self.network
+        net.obs.metrics.inc("net.direct.channels", label=self.label)
+        if self.src != self.dst:
+            # the sink presents the descriptor to the source endpoint:
+            # one control message on the channel's own path
+            net.transfer(self.dst, self.src, self.HANDSHAKE_BYTES)
+        station = net.host(self.src).station
+        if station is not None:
+            admission = station.admit(net.clock.now)  # may raise ServerBusy
+            if admission.wait > 0:
+                with net.obs.tracer.span("srb.queue.wait", host=self.src,
+                                         wait=admission.wait):
+                    net.clock.advance(admission.wait)
+            self._admission = admission
+
+    def settle(self, done: Optional[float] = None) -> None:
+        """Return the source endpoint's worker slot (if one was held)."""
+        if self._admission is not None:
+            station = self.network.host(self.src).station
+            if station is not None:
+                station.complete(
+                    self._admission,
+                    done if done is not None else self.network.clock.now)
+            self._admission = None
+
+    def transfer(self) -> float:
+        """Move the bytes now (blocking); returns elapsed virtual seconds."""
+        if not self._opened:
+            raise NetworkError("DataChannel.transfer before open()")
+        net = self.network
+        try:
+            cost = net.transfer(self.src, self.dst, self.nbytes,
+                                streams=self.streams)
+        finally:
+            self.settle()
+        net.obs.metrics.inc("net.direct.bytes", self.nbytes,
+                            label=self.label)
+        net.obs.metrics.observe("net.direct.transfer_s", cost,
+                                label=self.label)
+        return cost
+
+    def add_to(self, group: TransferGroup, key: Any = None) -> None:
+        """Enlist the (already opened) channel as a group member."""
+        if not self._opened:
+            raise NetworkError("DataChannel.add_to before open()")
+        group.add(self.src, self.dst, self.nbytes, streams=self.streams,
+                  key=key if key is not None else self)
+
+    def finish(self, outcome: TransferOutcome) -> None:
+        """Account a grouped member's outcome (settle + direct metrics)."""
+        self.settle(outcome.done)
+        if outcome.ok:
+            metrics = self.network.obs.metrics
+            metrics.inc("net.direct.bytes", self.nbytes, label=self.label)
+            metrics.observe("net.direct.transfer_s", outcome.cost,
+                            label=self.label)

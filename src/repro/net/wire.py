@@ -16,10 +16,68 @@ from typing import Any
 _ENVELOPE = 4
 # fixed per-message header (opcode, session, routing)
 MESSAGE_HEADER = 64
+# claim token a DeferredPayload ships instead of its bytes (host + nonce)
+_CLAIM_TOKEN = 64
+# per-leg framing a Redirect adds around each channel descriptor
+_REDIRECT_LEG = 16
+
+
+class DeferredPayload:
+    """A payload the client *announces* instead of sending in the request.
+
+    Under ``Federation(direct_io=True)`` the client wraps write payloads
+    (ingest/put/...) in a :class:`DeferredPayload`: the request carries a
+    small claim token, the server plans placement, and the bytes move
+    client→resource on a direct channel.  ``data`` stays accessible so
+    the simulated server (same process) can still read it; only the wire
+    accounting treats it as not-yet-transferred.
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytes):
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+class Redirect:
+    """A reply that carries channel descriptors in place of bulk bytes.
+
+    ``payload`` is the op's real return value (bytes, or a structure
+    containing bytes); ``channels`` are the :class:`~repro.net.simnet.
+    DataChannel` legs whose bytes were *not* shipped in the response and
+    must be pulled/pushed by the caller's RPC layer as a second leg.
+    On the wire a Redirect costs the payload minus the deferred bytes
+    plus one signed descriptor per leg.
+    """
+
+    __slots__ = ("payload", "channels", "parallel", "retry", "label")
+
+    def __init__(self, payload: Any, channels, parallel: bool = False,
+                 retry: bool = False, label: str = "redirect"):
+        self.payload = payload
+        self.channels = list(channels)
+        self.parallel = parallel
+        self.retry = retry
+        self.label = label
+
+    def __len__(self) -> int:
+        # ops audit `len(data)`; a redirect stands in for its payload
+        return len(self.payload)
 
 
 def sizeof(value: Any) -> int:
     """Approximate serialized size of ``value`` in bytes."""
+    if isinstance(value, DeferredPayload):
+        return _ENVELOPE + _CLAIM_TOKEN
+    if isinstance(value, Redirect):
+        deferred = sum(ch.nbytes for ch in value.channels)
+        descriptors = sum(_REDIRECT_LEG + sizeof(ch.ticket)
+                          for ch in value.channels)
+        return _ENVELOPE + max(0, sizeof(value.payload) - deferred) \
+            + descriptors
     if value is None or isinstance(value, bool):
         return _ENVELOPE
     if isinstance(value, int):

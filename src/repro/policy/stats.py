@@ -22,6 +22,14 @@ mode — blocking, queued, grouped — reports through
 counters — the predictor watches the wire, it never touches it.  That
 is what lets the default placement stay byte-identical to the
 pre-engine code while the statistics accumulate.
+
+Under ``Federation(direct_io=True)`` the observed paths change shape:
+data legs arrive as client↔resource and resource↔resource transfers
+(the :class:`~repro.net.simnet.DataChannel` legs) instead of everything
+funnelling through the server host.  No code here changes — channels
+move bytes with ordinary ``network.transfer`` calls, so the funnels see
+them automatically — but predictions learned in one mode describe that
+mode's paths.
 """
 
 from __future__ import annotations

@@ -1,0 +1,168 @@
+"""Channel-ticket hygiene: one-shot, short-lived, epoch-bound.
+
+A direct data channel's descriptor (``ChannelTicket``) authorizes
+exactly one transfer on exactly one path in exactly one topology
+epoch.  These tests pin the hygiene properties the redirect design
+leans on: a redeemed ticket cannot be replayed, a stale ticket dies on
+the virtual clock, any topology change (``set_down``/``set_up``/
+``partition``/``heal``) invalidates every outstanding ticket, forged
+or cross-zone signatures are rejected — and every rejection shows up
+in the ``srb.redirect.denied`` metric with its reason.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.auth.tickets import (
+    DEFAULT_CHANNEL_LIFETIME_S,
+    TicketAuthority,
+)
+from repro.core import Federation
+from repro.errors import InvalidTicket
+from repro.util.clock import SimClock
+
+
+@pytest.fixture
+def authority():
+    return TicketAuthority("demozone", "key-1", SimClock())
+
+
+def issue(authority, epoch=0, **kw):
+    kw.setdefault("src", "hr1")
+    kw.setdefault("dst", "hc")
+    kw.setdefault("nbytes", 4096)
+    kw.setdefault("path_key", "/srb/x")
+    return authority.issue_channel(epoch=epoch, **kw)
+
+
+class TestChannelTicketAuthority:
+    def test_roundtrip(self, authority):
+        t = issue(authority)
+        authority.redeem_channel(t, epoch=0)
+
+    def test_no_double_redeem(self, authority):
+        t = issue(authority)
+        authority.redeem_channel(t, epoch=0)
+        with pytest.raises(InvalidTicket) as exc:
+            authority.redeem_channel(t, epoch=0)
+        assert exc.value.reason == "reused"
+
+    def test_virtual_clock_expiry(self, authority):
+        t = issue(authority)
+        authority.clock.advance(DEFAULT_CHANNEL_LIFETIME_S + 1)
+        with pytest.raises(InvalidTicket) as exc:
+            authority.redeem_channel(t, epoch=0)
+        assert exc.value.reason == "expired"
+
+    def test_expiry_boundary_is_exclusive(self, authority):
+        t = issue(authority, lifetime_s=10.0)
+        authority.clock.advance(9.999)
+        authority.redeem_channel(t, epoch=0)
+        t2 = issue(authority, lifetime_s=10.0)
+        authority.clock.advance(10.0)
+        with pytest.raises(InvalidTicket):
+            authority.redeem_channel(t2, epoch=0)
+
+    def test_epoch_mismatch_rejected(self, authority):
+        t = issue(authority, epoch=3)
+        with pytest.raises(InvalidTicket) as exc:
+            authority.redeem_channel(t, epoch=4)
+        assert exc.value.reason == "epoch"
+
+    def test_tampered_size_rejected(self, authority):
+        t = issue(authority)
+        forged = dataclasses.replace(t, nbytes=10**9)
+        with pytest.raises(InvalidTicket) as exc:
+            authority.redeem_channel(forged, epoch=0)
+        assert exc.value.reason == "signature"
+
+    def test_tampered_destination_rejected(self, authority):
+        t = issue(authority)
+        forged = dataclasses.replace(t, dst="evil-host")
+        with pytest.raises(InvalidTicket):
+            authority.redeem_channel(forged, epoch=0)
+
+    def test_cross_zone_rejected(self, authority):
+        other = TicketAuthority("otherzone", "key-1", authority.clock)
+        t = issue(other)
+        with pytest.raises(InvalidTicket) as exc:
+            authority.redeem_channel(t, epoch=0)
+        assert exc.value.reason == "zone"
+
+    def test_each_ticket_redeems_independently(self, authority):
+        a, b = issue(authority), issue(authority)
+        authority.redeem_channel(a, epoch=0)
+        authority.redeem_channel(b, epoch=0)   # b unaffected by a
+
+
+def direct_fed():
+    fed = Federation(zone="z", direct_io=True)
+    for h in ("hs", "hr1", "hc"):
+        fed.add_host(h)
+    fed.add_server("s1", "hs", mcat=True)
+    fed.add_fs_resource("r1", "hr1")
+    fed.default_resource = "r1"
+    fed.bootstrap_admin()
+    return fed
+
+
+def denied_by_reason(fed):
+    series = fed.obs.metrics.series("srb.redirect.denied")
+    out = {}
+    for labels, count in series.items():
+        reason = labels.split("reason=", 1)[1].rstrip("}")
+        out[reason] = out.get(reason, 0) + count
+    return out
+
+
+class TestBrokerHygiene:
+    """The federation's ChannelBroker enforces hygiene and meters it."""
+
+    def test_double_redeem_denied_and_metered(self):
+        fed = direct_fed()
+        ch = fed.channels.open("hr1", "hc", 1024, "/srb/x")
+        fed.channels.redeem(ch.ticket)
+        with pytest.raises(InvalidTicket):
+            fed.channels.redeem(ch.ticket)
+        assert fed.channels.denied == 1
+        assert denied_by_reason(fed) == {"reused": 1}
+
+    def test_expired_ticket_denied_and_metered(self):
+        fed = direct_fed()
+        ch = fed.channels.open("hr1", "hc", 1024, "/srb/x")
+        fed.clock.advance(DEFAULT_CHANNEL_LIFETIME_S + 1)
+        with pytest.raises(InvalidTicket):
+            fed.channels.redeem(ch.ticket)
+        assert denied_by_reason(fed) == {"expired": 1}
+
+    @pytest.mark.parametrize("bump", [
+        lambda net: net.set_down("hr1"),
+        lambda net: (net.set_down("hr1"), net.set_up("hr1")),
+        lambda net: net.partition("hs", "hc"),
+        lambda net: (net.partition("hs", "hc"), net.heal("hs", "hc")),
+    ])
+    def test_topology_epoch_bump_invalidates(self, bump):
+        """Any set_down/set_up/partition/heal kills in-flight tickets."""
+        fed = direct_fed()
+        ch = fed.channels.open("hr1", "hc", 1024, "/srb/x")
+        bump(fed.network)
+        with pytest.raises(InvalidTicket):
+            fed.channels.redeem(ch.ticket)
+        assert denied_by_reason(fed) == {"epoch": 1}
+
+    def test_ticket_issued_after_bump_is_good(self):
+        fed = direct_fed()
+        fed.network.set_down("hr1")
+        fed.network.set_up("hr1")
+        ch = fed.channels.open("hr1", "hc", 1024, "/srb/x")
+        fed.channels.redeem(ch.ticket)      # current epoch: accepted
+        assert fed.channels.denied == 0
+
+    def test_stats_surface_denials(self):
+        fed = direct_fed()
+        ch = fed.channels.open("hr1", "hc", 1024, "/srb/x")
+        fed.network.set_down("hr1")
+        with pytest.raises(InvalidTicket):
+            fed.channels.redeem(ch.ticket)
+        assert fed.stats()["redirects_denied"] == 1

@@ -11,8 +11,11 @@ commit" without digging through logs.
 Usage: python tools/bench_summary.py [--check]
 
 ``--check`` additionally exits non-zero when an expected experiment
-(E12 through E18) has no headline file — i.e. the benchmarks job
-did not actually run the perf experiments it is supposed to guard.
+has no headline file — i.e. the benchmarks job did not actually run
+the perf experiments it is supposed to guard.  The expected set lives
+in ``benchmarks/bench_manifest.json``, shared between this tool and
+the CI benchmarks job, so adding an experiment means editing one
+manifest rather than hunting down hardcoded tuples.
 """
 
 from __future__ import annotations
@@ -21,9 +24,16 @@ import json
 import os
 import sys
 
-OUTPUT_DIR = os.path.join(os.path.dirname(os.path.dirname(
-    os.path.abspath(__file__))), "benchmarks", "output")
-EXPECTED = ("e12", "e13", "e14", "e15", "e16", "e17", "e18")
+BENCH_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks")
+OUTPUT_DIR = os.path.join(BENCH_DIR, "output")
+MANIFEST = os.path.join(BENCH_DIR, "bench_manifest.json")
+
+
+def expected_experiments() -> tuple:
+    """The headline experiments the manifest says CI must produce."""
+    with open(MANIFEST) as fh:
+        return tuple(json.load(fh)["expected"])
 
 
 def main(argv) -> int:
@@ -39,7 +49,7 @@ def main(argv) -> int:
         exp = name[len("BENCH_"):-len(".json")]
         with open(os.path.join(OUTPUT_DIR, name)) as fh:
             summary[exp] = json.load(fh)
-    for exp in EXPECTED:
+    for exp in expected_experiments():
         if exp not in summary:
             missing.append(exp)
 
@@ -54,7 +64,11 @@ def main(argv) -> int:
         for key, value in sorted(headline.items()):
             print(f"  {exp}.{key} = {value}")
     if missing:
-        print(f"missing headline files for: {', '.join(missing)}")
+        print(f"missing {len(missing)} headline file(s) "
+              f"(per {os.path.relpath(MANIFEST)}):")
+        for exp in missing:
+            print(f"  {exp}: expected "
+                  f"{os.path.join(os.path.relpath(OUTPUT_DIR), 'BENCH_' + exp + '.json')}")
         if check:
             return 1
     return 0

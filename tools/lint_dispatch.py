@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Lint the plane services against the dispatch pipeline contract.
 
-Five rules keep the refactored server honest (see DESIGN.md, "SRB
+Six rules keep the refactored server honest (see DESIGN.md, "SRB
 server architecture" and "Placement policy engine"):
 
 1. **Every public plane-service method is a declared op.**  The RPC
@@ -45,6 +45,19 @@ server architecture" and "Placement policy engine"):
    observed-stats policy, quarantine or auto-striping.  The legacy
    facade files that *define* the compatibility surface are allowlisted;
    the allowlist is frozen and must only ever shrink.
+
+6. **Byte movement in plane code goes through the channel helpers.**
+   A handler calling ``self.network.transfer(...)`` directly bypasses
+   the direct-data-channel seam (DESIGN.md, "Direct data channels"):
+   under ``Federation(direct_io=True)`` its bytes would silently keep
+   funnelling through the server host, unmetered by ``net.direct.*``
+   and invisible to channel admission.  Data legs must use the
+   ``planes/base.py`` helpers (``_pull_from_resource``,
+   ``_push_to_resource``, ``_channel_push``, ``_channel_copy``,
+   ``_redirect_reply``) or a ``TransferGroup``/channel pairing.  The
+   frozen allowlist names the ``(file, function)`` pairs that *are*
+   the helpers plus grandfathered control/repair legs; it must only
+   ever shrink.
 
 Run from the repository root::
 
@@ -258,10 +271,57 @@ def check_placement_seam() -> List[str]:
     return errors
 
 
+#: ``(file, enclosing function)`` pairs sanctioned to call
+#: ``network.transfer`` directly in plane code: the channel/storage
+#: helpers themselves, and grandfathered control or repair legs that
+#: predate the channel seam.  Frozen: entries may be removed as legs
+#: move behind the helpers, never added.
+RAW_TRANSFER_ALLOWLIST = {
+    ("base.py", "_resource_session"),     # session control handshake
+    ("base.py", "_pull_from_resource"),   # the pass-through helper
+    ("base.py", "_push_to_resource"),     # the pass-through helper
+    ("base.py", "_channel_copy"),         # its own pass-through branch
+    ("data.py", "_rollback_created"),     # control msgs, not data bytes
+    ("data.py", "_get_bytes_striped"),    # failed-stripe repair re-pull
+    ("data.py", "_get_method"),           # proxy command control legs
+}
+
+
+def check_raw_transfers() -> List[str]:
+    """Rule 6: ``network.transfer`` in plane code outside the helpers."""
+    errors = []
+    for path in sorted(PLANES_DIR.glob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        # map every line to its innermost enclosing function
+        enclosing: dict = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for line in range(node.lineno, node.end_lineno + 1):
+                    prev = enclosing.get(line)
+                    if prev is None or node.lineno > prev[0]:
+                        enclosing[line] = (node.lineno, node.name)
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "transfer"
+                    and isinstance(node.func.value, ast.Attribute)
+                    and node.func.value.attr == "network"):
+                continue
+            func = enclosing.get(node.lineno, (0, "<module>"))[1]
+            if (path.name, func) in RAW_TRANSFER_ALLOWLIST:
+                continue
+            errors.append(
+                f"{path.relative_to(ROOT)}:{node.lineno}: raw "
+                f"network.transfer() in {func}() — move the leg behind "
+                f"the channel helpers (_channel_push/_channel_copy/"
+                f"_redirect_reply) so direct_io can redirect it")
+    return errors
+
+
 def main() -> int:
     errors = (check_public_methods_declared() + check_no_inline_plumbing()
               + check_mcat_via_property() + check_query_ops_paged()
-              + check_placement_seam())
+              + check_placement_seam() + check_raw_transfers())
     if errors:
         print(f"lint_dispatch: {len(errors)} violation(s)")
         for err in errors:
